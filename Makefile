@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test bench report quick-report cover fmt vet all
+
+all: build vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the extension studies (~30s).
+report:
+	go run ./cmd/blreport
+
+quick-report:
+	go run ./cmd/blreport -quick
+
+cover:
+	go test ./internal/... . -cover
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

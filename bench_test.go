@@ -1,0 +1,408 @@
+// Benchmarks: one per table and figure of the paper's evaluation (see
+// DESIGN.md's experiment index), plus ablations for the design decisions the
+// simulator makes. Each benchmark runs a shortened version of the experiment
+// per iteration and reports its headline quantity via b.ReportMetric, so
+// `go test -bench=. -benchmem` both times the harness and regenerates the
+// key numbers.
+package biglittle_test
+
+import (
+	"testing"
+
+	"biglittle"
+)
+
+// benchOpts keeps per-iteration cost low while preserving every
+// experiment's structure; cmd/blreport runs the full-length versions.
+var benchOpts = biglittle.ExperimentOptions{
+	Duration:     4 * biglittle.Second,
+	Seed:         1,
+	Instructions: 80_000,
+}
+
+func BenchmarkFig2Speedup(b *testing.B) {
+	var max13 float64
+	for i := 0; i < b.N; i++ {
+		rows := biglittle.Fig2(benchOpts)
+		max13 = 0
+		for _, r := range rows {
+			if r.Speedup13 > max13 {
+				max13 = r.Speedup13
+			}
+		}
+	}
+	b.ReportMetric(max13, "max-speedup@1.3GHz")
+}
+
+func BenchmarkFig3SpecPower(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := biglittle.Fig3(benchOpts)
+		sumL, sumB := 0.0, 0.0
+		for _, r := range rows {
+			sumL += r.Little13
+			sumB += r.Big13
+		}
+		ratio = sumB / sumL
+	}
+	b.ReportMetric(ratio, "big/little-power@1.3GHz")
+}
+
+func BenchmarkFig4LatencyApps(b *testing.B) {
+	var avgRed float64
+	for i := 0; i < b.N; i++ {
+		rows := biglittle.Fig4(benchOpts)
+		avgRed = 0
+		for _, r := range rows {
+			avgRed += r.LatencyReductionPct
+		}
+		avgRed /= float64(len(rows))
+	}
+	b.ReportMetric(avgRed, "avg-latency-reduction-%")
+}
+
+func BenchmarkFig5FPSApps(b *testing.B) {
+	var avgMinGain float64
+	for i := 0; i < b.N; i++ {
+		rows := biglittle.Fig5(benchOpts)
+		avgMinGain = 0
+		for _, r := range rows {
+			avgMinGain += r.MinFPSGainPct
+		}
+		avgMinGain /= float64(len(rows))
+	}
+	b.ReportMetric(avgMinGain, "avg-minFPS-gain-%")
+}
+
+func BenchmarkFig6UtilPower(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows := biglittle.Fig6(benchOpts)
+		min, max := rows[0].MW, rows[0].MW
+		for _, r := range rows {
+			if r.MW < min {
+				min = r.MW
+			}
+			if r.MW > max {
+				max = r.MW
+			}
+		}
+		spread = max / min
+	}
+	b.ReportMetric(spread, "power-range-ratio")
+}
+
+func characterize(b *testing.B) []biglittle.Result {
+	b.Helper()
+	return biglittle.Characterize(benchOpts)
+}
+
+func BenchmarkTable3TLP(b *testing.B) {
+	var maxTLP float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range characterize(b) {
+			if r.TLP.TLP > maxTLP {
+				maxTLP = r.TLP.TLP
+			}
+		}
+	}
+	b.ReportMetric(maxTLP, "max-TLP")
+}
+
+func BenchmarkTable4TLPMatrix(b *testing.B) {
+	var b1Share float64
+	for i := 0; i < b.N; i++ {
+		results := characterize(b)
+		b1, bmore := 0.0, 0.0
+		for _, r := range results {
+			for l := 0; l <= 4; l++ {
+				b1 += r.Matrix[1][l]
+				bmore += r.Matrix[2][l] + r.Matrix[3][l] + r.Matrix[4][l]
+			}
+		}
+		if b1+bmore > 0 {
+			b1Share = 100 * b1 / (b1 + bmore)
+		}
+	}
+	b.ReportMetric(b1Share, "single-big-core-share-%")
+}
+
+func BenchmarkTable5Efficiency(b *testing.B) {
+	var lowStates float64
+	for i := 0; i < b.N; i++ {
+		results := characterize(b)
+		lowStates = 0
+		for _, r := range results {
+			lowStates += r.Eff[0] + r.Eff[1]
+		}
+		lowStates /= float64(len(results))
+	}
+	b.ReportMetric(lowStates, "avg-min+<50%-share-%")
+}
+
+func BenchmarkFig7CoreConfigPerf(b *testing.B) {
+	var worstDrop float64
+	for i := 0; i < b.N; i++ {
+		worstDrop = 0
+		for _, r := range biglittle.CoreConfigs(benchOpts) {
+			if r.Config.Big == 0 && r.PerfChangePct < worstDrop {
+				worstDrop = r.PerfChangePct
+			}
+		}
+	}
+	b.ReportMetric(-worstDrop, "worst-little-only-perf-drop-%")
+}
+
+func BenchmarkFig8CoreConfigPower(b *testing.B) {
+	var bestSaving float64
+	for i := 0; i < b.N; i++ {
+		bestSaving = 0
+		for _, r := range biglittle.CoreConfigs(benchOpts) {
+			if r.PowerSavingPct > bestSaving {
+				bestSaving = r.PowerSavingPct
+			}
+		}
+	}
+	b.ReportMetric(bestSaving, "best-power-saving-%")
+}
+
+func BenchmarkFig9LittleFreq(b *testing.B) {
+	var minShare float64
+	for i := 0; i < b.N; i++ {
+		results := characterize(b)
+		minShare = 0
+		for _, r := range results {
+			minShare += r.LittleResidency[0] // 500 MHz bucket
+		}
+		minShare /= float64(len(results))
+	}
+	b.ReportMetric(minShare, "avg-time-at-500MHz-%")
+}
+
+func BenchmarkFig10BigFreq(b *testing.B) {
+	var topShare float64
+	for i := 0; i < b.N; i++ {
+		results := characterize(b)
+		topShare = 0
+		for _, r := range results {
+			n := len(r.BigResidency)
+			topShare += r.BigResidency[n-1] + r.BigResidency[n-2]
+		}
+		topShare /= float64(len(results))
+	}
+	b.ReportMetric(topShare, "avg-big-time-at-top-freqs-%")
+}
+
+func BenchmarkFig11TuningPower(b *testing.B) {
+	var interval60 float64
+	for i := 0; i < b.N; i++ {
+		sums := biglittle.SummarizeTuning(biglittle.TuningStudy(benchOpts))
+		for _, s := range sums {
+			if s.Tuning == "interval60" {
+				interval60 = s.AvgSavingPct
+			}
+		}
+	}
+	b.ReportMetric(interval60, "interval60-avg-saving-%")
+}
+
+func BenchmarkFig12TuningLatency(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, r := range biglittle.TuningStudy(benchOpts) {
+			if r.LatencyDeltaPct > worst {
+				worst = r.LatencyDeltaPct
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-latency-increase-%")
+}
+
+func BenchmarkFig13TuningFPS(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, r := range biglittle.TuningStudy(benchOpts) {
+			if r.AvgFPSDeltaPct < worst {
+				worst = r.AvgFPSDeltaPct
+			}
+		}
+	}
+	b.ReportMetric(-worst, "worst-FPS-drop-%")
+}
+
+// --- Ablations (DESIGN.md §4) -------------------------------------------
+
+// BenchmarkAblationSpeedup: how sensitive the Fig. 4 latency story is to the
+// per-task big-core efficiency — scaling every app thread's speedup to 1
+// removes the microarchitectural advantage entirely.
+func BenchmarkAblationSpeedup(b *testing.B) {
+	app, _ := biglittle.AppByName("encoder")
+	var latBig, latFlat float64
+	for i := 0; i < b.N; i++ {
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = benchOpts.Duration
+		cfg.Cores, _ = biglittle.ParseCoreConfig("L1+B4")
+		cfg.Sched.UpThreshold = -1
+		cfg.Sched.DownThreshold = -1
+		latBig = biglittle.Run(cfg).MeanLatency.Seconds()
+
+		// Same platform but big cores clocked like little ones and no IPC
+		// advantage: pin both clusters to 1.3 GHz equivalents.
+		cfg2 := cfg
+		cfg2.Governor = biglittle.Userspace
+		cfg2.PinnedMHz = map[int]int{0: 1300, 1: 800}
+		latFlat = biglittle.Run(cfg2).MeanLatency.Seconds()
+	}
+	b.ReportMetric(100*(latFlat/latBig-1), "slowdown-big@0.8-vs-governed-%")
+}
+
+// BenchmarkAblationHistoryWeight: the §VI-C load-history weight sweep on the
+// scheduler alone — migration counts under 16/32/64 ms half-lives.
+func BenchmarkAblationHistoryWeight(b *testing.B) {
+	app, _ := biglittle.AppByName("eternity_warrior")
+	var migrations [3]int
+	for i := 0; i < b.N; i++ {
+		for j, hl := range []int{16, 32, 64} {
+			cfg := biglittle.DefaultConfig(app)
+			cfg.Duration = benchOpts.Duration
+			cfg.Sched.HalfLifeMs = hl
+			migrations[j] = biglittle.Run(cfg).HMPMigrations
+		}
+	}
+	b.ReportMetric(float64(migrations[0]), "migrations-hl16")
+	b.ReportMetric(float64(migrations[1]), "migrations-hl32")
+	b.ReportMetric(float64(migrations[2]), "migrations-hl64")
+}
+
+// BenchmarkAblationSampling: governor sampling interval versus reaction — a
+// direct measure of the Fig. 12 responsiveness cost.
+func BenchmarkAblationSampling(b *testing.B) {
+	app, _ := biglittle.AppByName("bbench")
+	var lat20, lat100 float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range []int{20, 100} {
+			cfg := biglittle.DefaultConfig(app)
+			cfg.Duration = benchOpts.Duration
+			cfg.Gov.SampleMs = s
+			r := biglittle.Run(cfg)
+			if s == 20 {
+				lat20 = r.MeanLatency.Seconds()
+			} else {
+				lat100 = r.MeanLatency.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(100*(lat100/lat20-1), "latency-cost-of-100ms-sampling-%")
+}
+
+// BenchmarkSingleRun times one baseline app simulation end to end.
+func BenchmarkSingleRun(b *testing.B) {
+	app, _ := biglittle.AppByName("fifa15")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = benchOpts.Duration
+		biglittle.Run(cfg)
+	}
+}
+
+// --- Extension studies -----------------------------------------------------
+
+// BenchmarkExtTinyCores: the §VI-B tiny-core proposal — average power saving
+// across the suite from adding a T2 cluster, with interactivity preserved.
+func BenchmarkExtTinyCores(b *testing.B) {
+	var avgSaving float64
+	for i := 0; i < b.N; i++ {
+		rows := biglittle.TinyStudy(benchOpts)
+		avgSaving = 0
+		for _, r := range rows {
+			avgSaving += r.PowerSavingPct
+		}
+		avgSaving /= float64(len(rows))
+	}
+	b.ReportMetric(avgSaving, "avg-power-saving-%")
+}
+
+// BenchmarkExtSchedulers: §IV-A policy comparison — how much extra power the
+// efficiency-based policy burns on the suite relative to HMP.
+func BenchmarkExtSchedulers(b *testing.B) {
+	var effPower float64
+	for i := 0; i < b.N; i++ {
+		effPower = 0
+		n := 0
+		for _, r := range biglittle.SchedulerStudy(benchOpts) {
+			if r.Scheduler == "efficiency" {
+				effPower += r.PowerChangePct
+				n++
+			}
+		}
+		effPower /= float64(n)
+	}
+	b.ReportMetric(effPower, "efficiency-policy-power-delta-%")
+}
+
+// BenchmarkExtGovernors: §IV-D comparison — PAST's average power saving (and
+// implied responsiveness loss) versus the interactive governor.
+func BenchmarkExtGovernors(b *testing.B) {
+	var pastPower float64
+	for i := 0; i < b.N; i++ {
+		pastPower = 0
+		n := 0
+		for _, r := range biglittle.GovernorStudy(benchOpts) {
+			if r.Governor == "past" {
+				pastPower += r.PowerChangePct
+				n++
+			}
+		}
+		pastPower /= float64(n)
+	}
+	b.ReportMetric(-pastPower, "PAST-power-saving-%")
+}
+
+// BenchmarkExtSession: a three-phase usage session end to end.
+func BenchmarkExtSession(b *testing.B) {
+	mk := func(name string) biglittle.App {
+		app, _ := biglittle.AppByName(name)
+		return app
+	}
+	var drain float64
+	for i := 0; i < b.N; i++ {
+		r := biglittle.RunSession(biglittle.NewSession(
+			biglittle.SessionPhase{App: mk("browser"), Duration: 3 * biglittle.Second},
+			biglittle.SessionPhase{App: mk("eternity_warrior"), Duration: 3 * biglittle.Second},
+			biglittle.SessionPhase{App: mk("video_player"), Duration: 3 * biglittle.Second},
+		))
+		drain = r.TotalDrainPct
+	}
+	b.ReportMetric(drain*1000, "milli-%-battery-per-9s")
+}
+
+// BenchmarkExtEDP: the energy-delay synthesis across four configurations.
+func BenchmarkExtEDP(b *testing.B) {
+	var l4Wins float64
+	for i := 0; i < b.N; i++ {
+		l4Wins = 0
+		for _, r := range biglittle.EDP(benchOpts) {
+			if r.Best && (r.Config == "L4" || r.Config == "L4+B1") {
+				l4Wins++
+			}
+		}
+	}
+	b.ReportMetric(l4Wins, "apps-won-by-L4-or-L4+B1")
+}
+
+// BenchmarkAblationL2Size: how much of mcf's same-frequency gap the L2-size
+// difference explains.
+func BenchmarkAblationL2Size(b *testing.B) {
+	var collapse float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range biglittle.CacheSweep(benchOpts) {
+			if r.Workload == "mcf" {
+				collapse = r.SpeedupAt[512] / r.SpeedupAt[2048]
+			}
+		}
+	}
+	b.ReportMetric(collapse, "mcf-gap-from-L2-size-x")
+}

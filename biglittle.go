@@ -1,0 +1,290 @@
+// Package biglittle is a simulation library for studying mobile interactive
+// applications on asymmetric (big.LITTLE) multi-core platforms. It
+// reproduces the system studied in "Big or Little: A Study of Mobile
+// Interactive Applications on an Asymmetric Multi-core Platform" (IISWC
+// 2015): an Exynos 5422-like SoC with four Cortex-A15 "big" and four
+// Cortex-A7 "little" cores, the Linaro HMP scheduler, the interactive
+// cpufreq governor, a calibrated whole-system power model, trace-driven
+// Cortex-A7/A15 microarchitecture models with split L2 caches, and stochastic
+// models of twelve mobile applications.
+//
+// The top-level entry points:
+//
+//   - Run executes one application on one platform configuration and
+//     returns every metric the paper reports (TLP, core-usage matrices,
+//     efficiency states, frequency residency, power, latency/FPS).
+//   - The Fig*/Table*/Characterize/CoreConfigs/TuningStudy functions
+//     regenerate each table and figure of the paper's evaluation.
+//   - RunTrace drives the microarchitectural core models directly with
+//     synthetic SPEC-like workloads.
+//   - CustomApp builds new workloads from the same primitives the twelve
+//     bundled application models use.
+//
+// Everything is deterministic for a fixed seed.
+package biglittle
+
+import (
+	"biglittle/internal/apps"
+	"biglittle/internal/battery"
+	"biglittle/internal/core"
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+	"biglittle/internal/session"
+	"biglittle/internal/spec"
+	"biglittle/internal/synth"
+	"biglittle/internal/thermal"
+	"biglittle/internal/trace"
+	"biglittle/internal/uarch"
+	"biglittle/internal/workload"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time = event.Time
+
+// Convenient durations.
+const (
+	Microsecond = event.Microsecond
+	Millisecond = event.Millisecond
+	Second      = event.Second
+)
+
+// App is a benchmark application model (Table II of the paper).
+type App = apps.App
+
+// Metric distinguishes latency-oriented from FPS-oriented applications.
+type Metric = apps.Metric
+
+// Metric values.
+const (
+	Latency = apps.Latency
+	FPS     = apps.FPS
+)
+
+// Apps returns the twelve application models in Table II order.
+func Apps() []App { return apps.All() }
+
+// AppByName looks an application model up by name (e.g. "bbench").
+func AppByName(name string) (App, error) { return apps.ByName(name) }
+
+// LatencyApps returns the seven latency-oriented applications (Figure 4).
+func LatencyApps() []App { return apps.LatencyApps() }
+
+// FPSApps returns the five FPS-oriented applications (Figure 5).
+func FPSApps() []App { return apps.FPSApps() }
+
+// Micro returns the §III-B utilization microbenchmark: a spinner holding
+// dutyPct utilization at pinnedMHz, optionally pinned to core pinCore
+// (-1 for no affinity).
+func Micro(dutyPct, pinnedMHz, pinCore int) App { return apps.Micro(dutyPct, pinnedMHz, pinCore) }
+
+// Ctx is the workload-construction context passed to CustomApp builders.
+type Ctx = workload.Ctx
+
+// Workload-primitive re-exports for building custom applications.
+type (
+	// Thread is a schedulable app thread with per-segment callbacks.
+	Thread = workload.Thread
+	// Stage is one step of an interaction pipeline.
+	Stage = workload.Stage
+	// InteractionConfig drives a think-time interaction loop.
+	InteractionConfig = workload.InteractionConfig
+	// PeriodicConfig drives a periodic (frame-style) activity.
+	PeriodicConfig = workload.PeriodicConfig
+)
+
+// NewThread creates a named thread with the given big-core speedup on the
+// context's system.
+func NewThread(ctx *Ctx, name string, speedup float64) *Thread {
+	return workload.NewThread(ctx.Sys, name, speedup)
+}
+
+// InteractionLoop, Periodic, PoissonBursts, Continuous and TouchKicks expose
+// the demand generators used by the bundled app models.
+func InteractionLoop(ctx *Ctx, cfg InteractionConfig) { workload.InteractionLoop(ctx, cfg) }
+
+// Periodic runs a periodic activity on th.
+func Periodic(ctx *Ctx, th *Thread, cfg PeriodicConfig) { workload.Periodic(ctx, th, cfg) }
+
+// PoissonBursts pushes exponentially spaced bursts of work onto th.
+func PoissonBursts(ctx *Ctx, th *Thread, meanInterval Time, work, cv float64) {
+	workload.PoissonBursts(ctx, th, meanInterval, work, cv)
+}
+
+// Continuous keeps th fully busy until the run ends.
+func Continuous(ctx *Ctx, th *Thread, segment float64) { workload.Continuous(ctx, th, segment) }
+
+// TouchKicks models the Android input booster's frequency floor on touch.
+func TouchKicks(ctx *Ctx, meanGap Time) { workload.TouchKicks(ctx, meanGap) }
+
+// Mc is one million work cycles (a little core at 1.3 GHz executes 1300 Mc
+// per second).
+const Mc = workload.Mc
+
+// CustomApp builds an application model from workload primitives; it can be
+// passed anywhere a bundled App is accepted.
+func CustomApp(name string, metric Metric, build func(ctx *Ctx)) App {
+	return App{Name: name, Desc: "custom workload", Metric: metric, Build: build}
+}
+
+// Config describes one simulation run.
+type Config = core.Config
+
+// Result holds every metric collected from one run.
+type Result = core.Result
+
+// GovernorKind selects the DVFS policy.
+type GovernorKind = core.GovernorKind
+
+// Governor kinds.
+const (
+	Interactive = core.Interactive
+	Performance = core.Performance
+	Powersave   = core.Powersave
+	Userspace   = core.Userspace
+)
+
+// SchedConfig holds the HMP scheduler tunables (Algorithm 1).
+type SchedConfig = sched.Config
+
+// GovConfig holds the interactive governor tunables (Algorithm 2).
+type GovConfig = governor.InteractiveConfig
+
+// PowerParams is the calibrated whole-system power model.
+type PowerParams = power.Params
+
+// DefaultPower returns the calibrated Exynos 5422 power model.
+func DefaultPower() PowerParams { return power.Default() }
+
+// DefaultConfig returns the paper's baseline configuration for app: L4+B4,
+// HMP scheduler with 700/256 thresholds and 32 ms load half-life, the
+// interactive governor at a 20 ms sample interval, 30 s duration.
+func DefaultConfig(app App) Config { return core.DefaultConfig(app) }
+
+// Run executes one simulation.
+func Run(cfg Config) Result { return core.Run(cfg) }
+
+// CoreConfig is a hotplug configuration ("L4+B1" notation from §V-C).
+type CoreConfig = platform.CoreConfig
+
+// ParseCoreConfig parses "L2", "L4+B4" style notation.
+func ParseCoreConfig(s string) (CoreConfig, error) { return platform.ParseCoreConfig(s) }
+
+// StudyConfigs returns the seven §V-C hotplug combinations.
+func StudyConfigs() []CoreConfig { return platform.StudyConfigs() }
+
+// BaselineCores returns the default L4+B4 configuration.
+func BaselineCores() CoreConfig { return platform.Baseline() }
+
+// CoreModel describes one core microarchitecture for trace-driven runs.
+type CoreModel = uarch.Model
+
+// TraceResult summarizes one trace-driven run.
+type TraceResult = uarch.Result
+
+// SPECProfile statistically describes a SPEC-like workload.
+type SPECProfile = synth.Profile
+
+// CortexA7 returns the little-core microarchitecture model (Table I).
+func CortexA7() CoreModel { return uarch.CortexA7() }
+
+// CortexA15 returns the big-core microarchitecture model (Table I).
+func CortexA15() CoreModel { return uarch.CortexA15() }
+
+// SPECProfiles returns the twelve SPEC-like workload profiles of §III-A.
+func SPECProfiles() []SPECProfile { return synth.SPEC() }
+
+// RunTrace replays a workload profile on a core model at freqMHz;
+// instructions <= 0 uses the profile's default trace length.
+func RunTrace(m CoreModel, p SPECProfile, freqMHz, instructions int) TraceResult {
+	return uarch.Run(m, p, freqMHz, instructions)
+}
+
+// TraceSpeedup returns how much faster candidate completed the same
+// workload than baseline.
+func TraceSpeedup(candidate, baseline TraceResult) float64 {
+	return uarch.Speedup(candidate, baseline)
+}
+
+// SchedSystem exposes the scheduler system for extension points like
+// Config.OnSystem (attaching trace recorders or custom policies).
+type SchedSystem = sched.System
+
+// TraceRecorder captures a per-core execution timeline; see AttachTrace.
+type TraceRecorder = trace.Recorder
+
+// AttachTrace installs a timeline recorder on a system capturing scheduler
+// ticks in [from, to); use from Config.OnSystem. Render the result with
+// TraceRecorder.Render.
+func AttachTrace(sys *SchedSystem, from, to Time) *TraceRecorder {
+	return trace.Attach(sys, from, to)
+}
+
+// SchedulerKind selects the thread-to-core mapping policy (§IV-A).
+type SchedulerKind = core.SchedulerKind
+
+// Scheduler kinds.
+const (
+	HMP              = core.HMP
+	EfficiencyBased  = core.EfficiencyBased
+	ParallelismAware = core.ParallelismAware
+	EAS              = core.EAS
+)
+
+// Additional governor kinds (§IV-D lineage).
+const (
+	Ondemand        = core.Ondemand
+	ConservativeGov = core.Conservative
+	PASTGov         = core.PAST
+)
+
+// ThermalParams configures the per-cluster thermal model and throttling.
+type ThermalParams = thermal.Params
+
+// DefaultThermal returns thermal parameters calibrated so sustained
+// multi-core big-cluster load throttles in ~10-15 s while the twelve
+// interactive app models never trip.
+func DefaultThermal() ThermalParams { return thermal.Default() }
+
+// Stress returns a synthetic stress-test workload of n sustained CPU-bound
+// threads.
+func Stress(n int) App { return apps.Stress(n) }
+
+// WorkloadSpec is the JSON document format for defining application models
+// without recompiling; see the internal/spec package documentation for the
+// schema and LoadSpec/CompileSpec to build an App from it.
+type WorkloadSpec = spec.File
+
+// LoadSpec parses a JSON workload document into a runnable App.
+func LoadSpec(data []byte) (App, error) { return spec.Parse(data) }
+
+// CompileSpec validates an already-decoded WorkloadSpec into an App.
+func CompileSpec(f WorkloadSpec) (App, error) { return spec.Compile(f) }
+
+// SessionPhase is one app segment of a multi-app usage session.
+type SessionPhase = session.Phase
+
+// SessionConfig describes a session run.
+type SessionConfig = session.Config
+
+// SessionResult summarizes a session with per-phase metrics.
+type SessionResult = session.Result
+
+// NewSession returns a session on the paper's baseline platform with the
+// Galaxy S5 battery.
+func NewSession(phases ...SessionPhase) SessionConfig { return session.DefaultConfig(phases...) }
+
+// RunSession executes a multi-app session: phases run back to back on one
+// platform, with governor and load-tracker state carried across switches.
+func RunSession(cfg SessionConfig) SessionResult { return session.Run(cfg) }
+
+// RenderSession formats a session result.
+func RenderSession(r SessionResult) string { return session.Render(r) }
+
+// GalaxyS5Pack returns the paper device's battery.
+func GalaxyS5Pack() battery.Pack { return battery.GalaxyS5() }
+
+// BatteryPack describes a battery for session drain accounting.
+type BatteryPack = battery.Pack

@@ -1,0 +1,65 @@
+// Command blarch runs the architectural experiments of §III: the SPEC-like
+// speedup comparison between the Cortex-A15 and Cortex-A7 models (Figure 2),
+// the corresponding whole-system power (Figure 3), and per-workload trace
+// details (CPI components and cache miss rates).
+//
+// Usage:
+//
+//	blarch              # Figures 2 and 3
+//	blarch -detail mcf  # per-frequency trace breakdown for one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		detail = flag.String("detail", "", "print per-frequency trace details for one SPEC workload")
+		instr  = flag.Int("instructions", 0, "trace length override (0 = profile default)")
+	)
+	flag.Parse()
+
+	if *detail != "" {
+		printDetail(*detail, *instr)
+		return
+	}
+
+	o := biglittle.ExperimentOptions{Instructions: *instr}
+	fmt.Print(biglittle.RenderFig2(biglittle.Fig2(o)))
+	fmt.Println()
+	fmt.Print(biglittle.RenderFig3(biglittle.Fig3(o)))
+	fmt.Println()
+	fmt.Print(biglittle.RenderPredictors(biglittle.PredictorStudy(o)))
+}
+
+func printDetail(name string, instr int) {
+	var prof biglittle.SPECProfile
+	found := false
+	for _, p := range biglittle.SPECProfiles() {
+		if p.Name == name {
+			prof, found = p, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown SPEC workload %q\n", name)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: working set %d KB, code %d KB, ILP %.1f, MLP %.1f\n\n",
+		prof.Name, prof.WorkingSetB/1024, prof.CodeFootprintB/1024, prof.ILP, prof.MLP)
+	fmt.Printf("%-12s %5s %6s %7s %7s %7s %7s %7s\n",
+		"core", "MHz", "CPI", "base", "branch", "mem", "fetch", "L2miss")
+	for _, m := range []biglittle.CoreModel{biglittle.CortexA7(), biglittle.CortexA15()} {
+		for _, mhz := range []int{m.MinFreqMHz, (m.MinFreqMHz + m.MaxFreqMHz) / 2, m.MaxFreqMHz} {
+			r := biglittle.RunTrace(m, prof, mhz, instr)
+			n := float64(r.Instructions)
+			fmt.Printf("%-12s %5d %6.2f %7.2f %7.2f %7.2f %7.2f %6.1f%%\n",
+				r.Core, mhz, r.CPI, r.BaseCycles/n, r.BranchCycles/n, r.MemCycles/n,
+				r.FetchCycles/n, 100*r.L2MissRate)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command blreport regenerates every table and figure of the paper's
+// evaluation in order: Figures 2-6 (§III), Tables III-V and Figures 7-10
+// (§V), and Figures 11-13 (§VI). With -quick it runs shortened simulations
+// for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "short runs (8s per app) for a fast pass")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		duration = flag.Duration("duration", 30*time.Second, "simulated duration per app run")
+	)
+	flag.Parse()
+
+	o := biglittle.ExperimentOptions{
+		Duration: biglittle.Time(duration.Nanoseconds()),
+		Seed:     *seed,
+	}
+	if *quick {
+		o.Duration = 8 * biglittle.Second
+		o.Instructions = 120_000
+	}
+
+	section := func(title string) {
+		fmt.Printf("\n===== %s =====\n\n", title)
+	}
+
+	section("headline findings")
+	fmt.Print(biglittle.RenderSummary(biglittle.Summarize(o)))
+
+	section("§III-A: architectural characteristics")
+	fmt.Print(biglittle.RenderFig2(biglittle.Fig2(o)))
+	fmt.Println()
+	fmt.Print(biglittle.RenderFig3(biglittle.Fig3(o)))
+	fmt.Println()
+	fmt.Print(biglittle.RenderFig4(biglittle.Fig4(o)))
+	fmt.Println()
+	fmt.Print(biglittle.RenderFig5(biglittle.Fig5(o)))
+
+	section("§III-B: power by core utilization")
+	fmt.Print(biglittle.RenderFig6(biglittle.Fig6(o)))
+
+	section("§V: application characterization (Tables III-V, Figures 9/10)")
+	results := biglittle.Characterize(o)
+	fmt.Print(biglittle.RenderTable3(results))
+	fmt.Println()
+	for _, r := range results {
+		fmt.Print(biglittle.RenderTable4(r))
+		fmt.Println()
+	}
+	fmt.Print(biglittle.RenderTable5(results))
+	fmt.Println()
+	fmt.Print(biglittle.RenderLittleResidency(results))
+	fmt.Println()
+	fmt.Print(biglittle.RenderBigResidency(results))
+
+	section("§V-C: core configurations (Figures 7/8)")
+	fmt.Print(biglittle.RenderCoreConfigs(biglittle.CoreConfigs(o)))
+
+	section("§VI-C: governor and HMP parameter study (Figures 11-13)")
+	fmt.Print(biglittle.RenderTuning(biglittle.TuningStudy(o)))
+
+	section("extension: §VI-B tiny-core proposal")
+	fmt.Print(biglittle.RenderTiny(biglittle.TinyStudy(o)))
+
+	section("extension: §IV-A scheduling policies")
+	fmt.Print(biglittle.RenderSchedulers(biglittle.SchedulerStudy(o)))
+
+	section("extension: §IV-D DVFS governors")
+	fmt.Print(biglittle.RenderGovernors(biglittle.GovernorStudy(o)))
+
+	section("extension: cpuidle deep idle states")
+	fmt.Print(biglittle.RenderIdle(biglittle.IdleStudy(o)))
+
+	section("extension: thermal throttling under sustained load")
+	fmt.Print(biglittle.RenderThermal(biglittle.ThermalStudy(o)))
+
+	section("extension: L2-size ablation")
+	fmt.Print(biglittle.RenderCacheSweep(biglittle.CacheSweep(o)))
+
+	section("extension: branch predictor validation")
+	fmt.Print(biglittle.RenderPredictors(biglittle.PredictorStudy(o)))
+
+	section("extension: battery life and per-thread energy")
+	fmt.Print(biglittle.RenderBattery(biglittle.BatteryStudy(o)))
+
+	section("extension: multitasking")
+	fmt.Print(biglittle.RenderMultitask(biglittle.MultitaskStudy(o)))
+
+	section("extension: run-to-run variation (5 seeds)")
+	fmt.Print(biglittle.RenderSeedStats(biglittle.SeedStats(o, 5)))
+
+	section("extension: energy-delay product by core configuration")
+	fmt.Print(biglittle.RenderEDP(biglittle.EDP(o)))
+
+	section("extension: cross-platform (Snapdragon 810-class SoC)")
+	fmt.Print(biglittle.RenderCrossPlatform(biglittle.CrossPlatform(o)))
+
+	section("fidelity score vs the paper's published tables")
+	fmt.Print(biglittle.RenderFidelity(biglittle.Fidelity(o)))
+}

@@ -1,0 +1,56 @@
+// Command blsession runs a multi-app usage session — a comma-separated list
+// of app:duration phases — and prints per-phase power, performance, and
+// battery drain.
+//
+// Usage:
+//
+//	blsession -phases browser:20s,pdf_reader:15s,eternity_warrior:20s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		phasesArg = flag.String("phases", "browser:10s,video_player:10s",
+			"comma-separated app:duration phases")
+		seed = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	var phases []biglittle.SessionPhase
+	for _, part := range strings.Split(*phasesArg, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(fields) != 2 {
+			fmt.Fprintf(os.Stderr, "bad phase %q (want app:duration)\n", part)
+			os.Exit(1)
+		}
+		app, err := biglittle.AppByName(fields[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		phases = append(phases, biglittle.SessionPhase{
+			App: app, Duration: biglittle.Time(d.Nanoseconds()),
+		})
+	}
+
+	cfg := biglittle.NewSession(phases...)
+	cfg.Seed = *seed
+	r := biglittle.RunSession(cfg)
+	fmt.Print(biglittle.RenderSession(r))
+	fmt.Printf("\nbattery at this mix: %.1f hours of continuous use\n",
+		biglittle.GalaxyS5Pack().HoursAt(r.AvgPowerMW))
+}

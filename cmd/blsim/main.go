@@ -1,0 +1,127 @@
+// Command blsim runs one application model on one platform configuration
+// and prints its full characterization: performance, power, TLP, core-usage
+// matrix, efficiency states, and frequency residency.
+//
+// Usage:
+//
+//	blsim -app bbench -cores L4+B1 -duration 30s -governor interactive
+//	blsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "pdf_reader", "application model to run (see -list)")
+		specFile = flag.String("spec", "", "load the application from a JSON workload spec instead")
+		list     = flag.Bool("list", false, "list application models and exit")
+		cores    = flag.String("cores", "L4+B4", "hotplug configuration, e.g. L2, L4+B1")
+		duration = flag.Duration("duration", 30*time.Second, "simulated duration")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		gov      = flag.String("governor", "interactive", "governor: interactive|performance|powersave")
+		sample   = flag.Int("sample-ms", 20, "interactive governor sampling interval (ms)")
+		target   = flag.Int("target-load", 70, "interactive governor target load (%)")
+		up       = flag.Int("up", 700, "HMP up-threshold (of 1024)")
+		down     = flag.Int("down", 256, "HMP down-threshold (of 1024)")
+		weight   = flag.Int("weight", 32, "HMP load history half-life (ms)")
+		matrix   = flag.Bool("matrix", false, "print the Table IV active-core matrix")
+		asJSON   = flag.Bool("json", false, "emit the full result as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range biglittle.Apps() {
+			fmt.Printf("%-18s %-8s %s\n", a.Name, a.Metric, a.Desc)
+		}
+		return
+	}
+
+	var app biglittle.App
+	var err error
+	if *specFile != "" {
+		data, rerr := os.ReadFile(*specFile)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		app, err = biglittle.LoadSpec(data)
+	} else {
+		app, err = biglittle.AppByName(*appName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cc, err := biglittle.ParseCoreConfig(*cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Seed = *seed
+	cfg.Duration = biglittle.Time(duration.Nanoseconds())
+	cfg.Cores = cc
+	cfg.Gov.SampleMs = *sample
+	cfg.Gov.TargetLoad = *target
+	cfg.Sched.UpThreshold = *up
+	cfg.Sched.DownThreshold = *down
+	cfg.Sched.HalfLifeMs = *weight
+	switch *gov {
+	case "interactive":
+		cfg.Governor = biglittle.Interactive
+	case "performance":
+		cfg.Governor = biglittle.Performance
+	case "powersave":
+		cfg.Governor = biglittle.Powersave
+	default:
+		fmt.Fprintf(os.Stderr, "unknown governor %q\n", *gov)
+		os.Exit(1)
+	}
+
+	r := biglittle.Run(cfg)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("app: %s (%s) on %s for %v, seed %d\n", r.App, r.Metric, r.Cores, duration, *seed)
+	if r.Metric == biglittle.FPS {
+		fmt.Printf("performance: %.1f avg FPS, %.1f min FPS (%d frames)\n", r.AvgFPS, r.MinFPS, r.Frames)
+	} else {
+		fmt.Printf("performance: %v mean latency, %v worst (%d interactions)\n",
+			r.MeanLatency, r.WorstLatency, r.Interactions)
+	}
+	fmt.Printf("power: %.0f mW average, %.1f J total\n", r.AvgPowerMW, r.EnergyMJ/1000)
+	fmt.Printf("TLP: %.2f   idle %.1f%%   little-only %.1f%%   big-active %.1f%%\n",
+		r.TLP.TLP, r.TLP.IdlePct, r.TLP.LittleOnlyPct, r.TLP.BigPct)
+	fmt.Printf("efficiency states: min %.1f%%  <50%% %.1f%%  <70%% %.1f%%  70-95%% %.1f%%  >95%% %.1f%%  full %.1f%%\n",
+		r.Eff[0], r.Eff[1], r.Eff[2], r.Eff[3], r.Eff[4], r.Eff[5])
+	fmt.Printf("HMP migrations: %d\n", r.HMPMigrations)
+
+	if *matrix {
+		fmt.Println(biglittle.RenderTable4(r))
+	}
+	fmt.Println("little cluster residency (%, by MHz):")
+	for i, f := range r.LittleFreqs {
+		fmt.Printf("  %4d: %5.1f\n", f, r.LittleResidency[i])
+	}
+	fmt.Println("big cluster residency (%, by MHz):")
+	for i, f := range r.BigFreqs {
+		fmt.Printf("  %4d: %5.1f\n", f, r.BigResidency[i])
+	}
+}

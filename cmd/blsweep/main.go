@@ -1,0 +1,82 @@
+// Command blsweep sweeps one scheduler or governor parameter across a range
+// of values for one app (or all twelve) and emits CSV — the raw material
+// behind Figures 11-13 style studies, for plotting or regression tracking.
+//
+// Usage:
+//
+//	blsweep -param sample-ms -values 10,20,40,60,80,100 -app bbench
+//	blsweep -param up-threshold -values 500,600,700,800,900 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"biglittle"
+)
+
+var params = map[string]func(*biglittle.Config, int){
+	"sample-ms":      func(c *biglittle.Config, v int) { c.Gov.SampleMs = v },
+	"target-load":    func(c *biglittle.Config, v int) { c.Gov.TargetLoad = v },
+	"up-threshold":   func(c *biglittle.Config, v int) { c.Sched.UpThreshold = v },
+	"down-threshold": func(c *biglittle.Config, v int) { c.Sched.DownThreshold = v },
+	"weight-ms":      func(c *biglittle.Config, v int) { c.Sched.HalfLifeMs = v },
+}
+
+func main() {
+	var (
+		param    = flag.String("param", "sample-ms", "parameter to sweep: sample-ms|target-load|up-threshold|down-threshold|weight-ms")
+		values   = flag.String("values", "10,20,40,60,80,100", "comma-separated values")
+		appName  = flag.String("app", "", "single app (default: all twelve)")
+		duration = flag.Duration("duration", 15*time.Second, "simulated duration per run")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	setter, ok := params[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		os.Exit(1)
+	}
+	var vals []int
+	for _, f := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", f, err)
+			os.Exit(1)
+		}
+		vals = append(vals, v)
+	}
+
+	var appsToRun []biglittle.App
+	if *appName != "" {
+		app, err := biglittle.AppByName(*appName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		appsToRun = []biglittle.App{app}
+	} else {
+		appsToRun = biglittle.Apps()
+	}
+
+	fmt.Printf("app,metric,%s,avg_power_mw,energy_j,mean_latency_ms,avg_fps,min_fps,tlp,big_pct,migrations\n", *param)
+	for _, app := range appsToRun {
+		for _, v := range vals {
+			cfg := biglittle.DefaultConfig(app)
+			cfg.Seed = *seed
+			cfg.Duration = biglittle.Time(duration.Nanoseconds())
+			setter(&cfg, v)
+			r := biglittle.Run(cfg)
+			fmt.Printf("%s,%s,%d,%.1f,%.3f,%.2f,%.2f,%.2f,%.3f,%.2f,%d\n",
+				r.App, r.Metric, v,
+				r.AvgPowerMW, r.EnergyMJ/1000,
+				r.MeanLatency.Milliseconds(), r.AvgFPS, r.MinFPS,
+				r.TLP.TLP, r.TLP.BigPct, r.HMPMigrations)
+		}
+	}
+}

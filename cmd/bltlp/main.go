@@ -1,0 +1,62 @@
+// Command bltlp runs the §V thread-level-parallelism characterization for
+// one application or the full suite: Table III rows, the Table IV
+// active-core matrix, the Table V efficiency decomposition, and the
+// Figure 9/10 frequency-residency distributions.
+//
+// Usage:
+//
+//	bltlp                  # Table III for all twelve apps
+//	bltlp -app encoder     # full detail for one app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "single app to characterize in detail (default: Table III for all)")
+		duration = flag.Duration("duration", 30*time.Second, "simulated duration per app")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	o := biglittle.ExperimentOptions{
+		Duration: biglittle.Time(duration.Nanoseconds()),
+		Seed:     *seed,
+	}
+
+	if *appName == "" {
+		results := biglittle.Characterize(o)
+		fmt.Print(biglittle.RenderTable3(results))
+		fmt.Println()
+		fmt.Print(biglittle.RenderTable5(results))
+		return
+	}
+
+	app, err := biglittle.AppByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = o.Duration
+	cfg.Seed = o.Seed
+	r := biglittle.Run(cfg)
+
+	results := []biglittle.Result{r}
+	fmt.Print(biglittle.RenderTable3(results))
+	fmt.Println()
+	fmt.Print(biglittle.RenderTable4(r))
+	fmt.Println()
+	fmt.Print(biglittle.RenderTable5(results))
+	fmt.Println()
+	fmt.Print(biglittle.RenderLittleResidency(results))
+	fmt.Println()
+	fmt.Print(biglittle.RenderBigResidency(results))
+}

@@ -1,0 +1,86 @@
+// Command bltrace runs one application model and renders a systrace-style
+// per-core execution timeline for a chosen window: which thread ran on
+// which core at every millisecond, migrations between clusters, and the
+// frequency bands the governor chose.
+//
+// Usage:
+//
+//	bltrace -app eternity_warrior -from 5s -window 300ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "eternity_warrior", "application model to trace")
+		from    = flag.Duration("from", 5*time.Second, "window start (simulated time)")
+		window  = flag.Duration("window", 300*time.Millisecond, "window length")
+		width   = flag.Int("width", 120, "maximum timeline columns (0 = one per tick)")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		cores   = flag.String("cores", "L4+B4", "hotplug configuration")
+		chrome  = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+	)
+	flag.Parse()
+
+	app, err := biglittle.AppByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cc, err := biglittle.ParseCoreConfig(*cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Seed = *seed
+	cfg.Cores = cc
+	cfg.Duration = biglittle.Time((*from + *window).Nanoseconds())
+
+	var rec *biglittle.TraceRecorder
+	cfg.OnSystem = func(sys *biglittle.SchedSystem) {
+		rec = biglittle.AttachTrace(sys,
+			biglittle.Time(from.Nanoseconds()),
+			biglittle.Time((*from + *window).Nanoseconds()))
+	}
+	biglittle.Run(cfg)
+
+	if *chrome != "" {
+		data, err := rec.ChromeTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chrome, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *chrome, len(data))
+	}
+
+	fmt.Print(rec.Render(*width))
+
+	fmt.Println("\nper-thread core-type residency in window:")
+	res := rec.Residency()
+	names := make([]string, 0, len(res))
+	for name := range res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-20s", name)
+		for typ, frac := range res[name] {
+			fmt.Printf(" %v %.0f%%", typ, 100*frac)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,94 @@
+package biglittle_test
+
+import (
+	"fmt"
+
+	"biglittle"
+)
+
+// Run one bundled application model on the paper's default platform and
+// read the headline metrics.
+func ExampleRun() {
+	app, _ := biglittle.AppByName("video_player")
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 5 * biglittle.Second
+	r := biglittle.Run(cfg)
+	fmt.Printf("%s: %.0f fps avg, big-core use %.1f%%\n", r.App, r.AvgFPS, r.TLP.BigPct)
+	// Output: video_player: 30 fps avg, big-core use 0.0%
+}
+
+// Hotplug configurations use the paper's §V-C notation.
+func ExampleParseCoreConfig() {
+	cc, err := biglittle.ParseCoreConfig("L2+B1")
+	fmt.Println(cc, err)
+	_, err = biglittle.ParseCoreConfig("B4")
+	fmt.Println(err != nil)
+	// Output:
+	// L2+B1 <nil>
+	// true
+}
+
+// Drive the Cortex-A7/A15 microarchitecture models directly with a
+// SPEC-like workload: the 2 MB big L2 holds mcf's working set, the little
+// 512 KB L2 does not.
+func ExampleRunTrace() {
+	var mcf biglittle.SPECProfile
+	for _, p := range biglittle.SPECProfiles() {
+		if p.Name == "mcf" {
+			mcf = p
+		}
+	}
+	little := biglittle.RunTrace(biglittle.CortexA7(), mcf, 1300, 100_000)
+	big := biglittle.RunTrace(biglittle.CortexA15(), mcf, 1300, 100_000)
+	fmt.Printf("same-frequency speedup > 4: %v\n", biglittle.TraceSpeedup(big, little) > 4)
+	fmt.Printf("little L2 misses, big L2 does not: %v\n",
+		little.L2MissRate > 0.3 && big.L2MissRate < 0.05)
+	// Output:
+	// same-frequency speedup > 4: true
+	// little L2 misses, big L2 does not: true
+}
+
+// Build a custom workload from the library's primitives: a periodic sensor
+// task plus occasional processing bursts.
+func ExampleCustomApp() {
+	app := biglittle.CustomApp("sensor_hub", biglittle.Latency, func(ctx *biglittle.Ctx) {
+		sample := biglittle.NewThread(ctx, "hub.sample", 1.2)
+		process := biglittle.NewThread(ctx, "hub.process", 1.9)
+		biglittle.Periodic(ctx, sample, biglittle.PeriodicConfig{
+			Period: 20 * biglittle.Millisecond,
+			Work:   0.2 * biglittle.Mc,
+		})
+		biglittle.InteractionLoop(ctx, biglittle.InteractionConfig{
+			Think: 500 * biglittle.Millisecond,
+			Stages: func() []biglittle.Stage {
+				return []biglittle.Stage{
+					{Threads: []*biglittle.Thread{process}, Work: 6 * biglittle.Mc},
+				}
+			},
+		})
+	})
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 5 * biglittle.Second
+	r := biglittle.Run(cfg)
+	fmt.Printf("%s processed %d bursts, all on little cores: %v\n",
+		r.App, r.Interactions, r.TLP.BigPct == 0)
+	// Output: sensor_hub processed 10 bursts, all on little cores: true
+}
+
+// Load an application model from a JSON workload spec.
+func ExampleLoadSpec() {
+	app, err := biglittle.LoadSpec([]byte(`{
+		"name": "beeper",
+		"threads": [{"name": "beep", "speedup": 1.2}],
+		"periodics": [{"thread": "beep", "period_ms": 100, "work_mc": 0.5}]
+	}`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 2 * biglittle.Second
+	r := biglittle.Run(cfg)
+	fmt.Printf("%s ran %.1f Gc of work\n", r.App, r.TotalWorkGc)
+	// Output: beeper ran 0.0 Gc of work
+}

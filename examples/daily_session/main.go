@@ -1,0 +1,34 @@
+// Daily session: a compressed slice of a day's phone use — check the news,
+// read a PDF, play a game, watch a video — run as one continuous simulation
+// with per-phase power, performance, and battery drain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biglittle"
+)
+
+func main() {
+	phase := func(name string, secs int) biglittle.SessionPhase {
+		app, err := biglittle.AppByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return biglittle.SessionPhase{App: app, Duration: biglittle.Time(secs) * biglittle.Second}
+	}
+
+	cfg := biglittle.NewSession(
+		phase("browser", 20),
+		phase("pdf_reader", 15),
+		phase("eternity_warrior", 20),
+		phase("video_player", 25),
+	)
+	r := biglittle.RunSession(cfg)
+	fmt.Print(biglittle.RenderSession(r))
+
+	hours := biglittle.GalaxyS5Pack().HoursAt(r.AvgPowerMW)
+	fmt.Printf("\nat this mix the battery would last %.1f hours of continuous use\n", hours)
+	fmt.Println("(CPU/SoC rails only, screen off — as in the paper's measurements)")
+}

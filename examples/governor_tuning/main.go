@@ -1,0 +1,37 @@
+// Governor tuning: sweep the interactive governor's sampling interval and
+// target load for one latency-oriented app, reproducing the §VI-C trade-off
+// between power saving and responsiveness on a single workload.
+package main
+
+import (
+	"fmt"
+
+	"biglittle"
+)
+
+func main() {
+	app, _ := biglittle.AppByName("pdf_reader")
+
+	base := biglittle.DefaultConfig(app)
+	base.Duration = 15 * biglittle.Second
+	baseline := biglittle.Run(base)
+	fmt.Printf("baseline (20ms sample, target 70): latency %v, power %.0f mW\n\n",
+		baseline.MeanLatency, baseline.AvgPowerMW)
+
+	fmt.Printf("%-10s %-10s %12s %12s %12s\n", "sample", "target", "latency", "Δlatency", "Δpower")
+	for _, sampleMs := range []int{20, 60, 100} {
+		for _, target := range []int{60, 70, 80} {
+			cfg := biglittle.DefaultConfig(app)
+			cfg.Duration = base.Duration
+			cfg.Gov.SampleMs = sampleMs
+			cfg.Gov.TargetLoad = target
+			r := biglittle.Run(cfg)
+			dLat := 100 * (r.MeanLatency.Seconds()/baseline.MeanLatency.Seconds() - 1)
+			dPow := 100 * (r.AvgPowerMW/baseline.AvgPowerMW - 1)
+			fmt.Printf("%-10d %-10d %12v %+11.1f%% %+11.1f%%\n",
+				sampleMs, target, r.MeanLatency, dLat, dPow)
+		}
+	}
+	fmt.Println("\nlonger intervals and higher targets trade responsiveness for power —")
+	fmt.Println("the paper's Figure 11/12 trade-off, here for a single app.")
+}

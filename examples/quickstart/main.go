@@ -1,0 +1,40 @@
+// Quickstart: run one bundled application model on the default platform
+// (Exynos 5422-like, L4+B4, HMP scheduler, interactive governor) and print
+// the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biglittle"
+)
+
+func main() {
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 15 * biglittle.Second
+	cfg.Seed = 7
+
+	r := biglittle.Run(cfg)
+
+	fmt.Printf("ran %s for %v on %s\n", r.App, r.Duration, r.Cores)
+	fmt.Printf("  mean page-load latency: %v over %d pages\n", r.MeanLatency, r.Interactions)
+	fmt.Printf("  average system power:   %.0f mW\n", r.AvgPowerMW)
+	fmt.Printf("  TLP:                    %.2f active cores (non-idle time)\n", r.TLP.TLP)
+	fmt.Printf("  big-core usage:         %.1f%% of active samples\n", r.TLP.BigPct)
+	fmt.Printf("  HMP migrations:         %d\n", r.HMPMigrations)
+
+	// Re-run without big cores to see what they were buying.
+	cfg.Cores, _ = biglittle.ParseCoreConfig("L4")
+	lr := biglittle.Run(cfg)
+	fmt.Printf("\nwithout big cores (L4): latency %v (%.0f%% slower), power %.0f mW (%.0f%% less)\n",
+		lr.MeanLatency,
+		100*(lr.MeanLatency.Seconds()/r.MeanLatency.Seconds()-1),
+		lr.AvgPowerMW,
+		100*(1-lr.AvgPowerMW/r.AvgPowerMW))
+}

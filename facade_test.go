@@ -1,0 +1,109 @@
+package biglittle_test
+
+import (
+	"strings"
+	"testing"
+
+	"biglittle"
+)
+
+// quick options exercise every facade driver end to end at minimal cost.
+var quick = biglittle.ExperimentOptions{Duration: 2 * biglittle.Second, Seed: 1, Instructions: 30_000}
+
+func TestFacadeDriversRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facade sweep")
+	}
+	checks := map[string]func() string{
+		"fig2":       func() string { return biglittle.RenderFig2(biglittle.Fig2(quick)) },
+		"fig3":       func() string { return biglittle.RenderFig3(biglittle.Fig3(quick)) },
+		"fig4":       func() string { return biglittle.RenderFig4(biglittle.Fig4(quick)) },
+		"fig5":       func() string { return biglittle.RenderFig5(biglittle.Fig5(quick)) },
+		"tuning":     func() string { return biglittle.RenderTuning(biglittle.TuningStudy(quick)) },
+		"coreconfig": func() string { return biglittle.RenderCoreConfigs(biglittle.CoreConfigs(quick)) },
+		"tiny":       func() string { return biglittle.RenderTiny(biglittle.TinyStudy(quick)) },
+		"sched":      func() string { return biglittle.RenderSchedulers(biglittle.SchedulerStudy(quick)) },
+		"gov":        func() string { return biglittle.RenderGovernors(biglittle.GovernorStudy(quick)) },
+		"idle":       func() string { return biglittle.RenderIdle(biglittle.IdleStudy(quick)) },
+		"battery":    func() string { return biglittle.RenderBattery(biglittle.BatteryStudy(quick)) },
+		"multitask":  func() string { return biglittle.RenderMultitask(biglittle.MultitaskStudy(quick)) },
+		"seeds":      func() string { return biglittle.RenderSeedStats(biglittle.SeedStats(quick, 2)) },
+		"pred":       func() string { return biglittle.RenderPredictors(biglittle.PredictorStudy(quick)) },
+		"edp":        func() string { return biglittle.RenderEDP(biglittle.EDP(quick)) },
+		"fidelity":   func() string { return biglittle.RenderFidelity(biglittle.Fidelity(quick)) },
+	}
+	for name, fn := range checks {
+		out := fn()
+		if len(out) == 0 || !strings.Contains(out, "\n") {
+			t.Errorf("%s: empty render", name)
+		}
+	}
+}
+
+func TestFacadeCharacterizeAndResidency(t *testing.T) {
+	results := biglittle.Characterize(quick)
+	if len(results) != 12 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, render := range []string{
+		biglittle.RenderTable3(results),
+		biglittle.RenderTable4(results[0]),
+		biglittle.RenderTable5(results),
+		biglittle.RenderLittleResidency(results),
+		biglittle.RenderBigResidency(results),
+	} {
+		if len(render) == 0 {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestFacadeSession(t *testing.T) {
+	app, _ := biglittle.AppByName("youtube")
+	r := biglittle.RunSession(biglittle.NewSession(
+		biglittle.SessionPhase{App: app, Duration: 2 * biglittle.Second},
+	))
+	if len(r.Phases) != 1 || r.TotalEnergyJ <= 0 {
+		t.Fatalf("session %+v", r)
+	}
+	if !strings.Contains(biglittle.RenderSession(r), "youtube") {
+		t.Fatal("render")
+	}
+	if biglittle.GalaxyS5Pack().HoursAt(r.AvgPowerMW) <= 0 {
+		t.Fatal("battery estimate")
+	}
+}
+
+func TestFacadeThermalAndStress(t *testing.T) {
+	cfg := biglittle.DefaultConfig(biglittle.Stress(4))
+	cfg.Duration = 10 * biglittle.Second
+	par := biglittle.DefaultThermal()
+	cfg.Thermal = &par
+	r := biglittle.Run(cfg)
+	if r.MaxTempC <= par.AmbientC {
+		t.Fatalf("stress never heated the die (%.1fC)", r.MaxTempC)
+	}
+	if r.TotalWorkGc <= 0 {
+		t.Fatal("no work")
+	}
+}
+
+func TestFacadeTraceAttach(t *testing.T) {
+	app, _ := biglittle.AppByName("angry_bird")
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 2 * biglittle.Second
+	var rec *biglittle.TraceRecorder
+	cfg.OnSystem = func(sys *biglittle.SchedSystem) {
+		rec = biglittle.AttachTrace(sys, 0, biglittle.Second)
+	}
+	biglittle.Run(cfg)
+	if rec == nil || len(rec.Samples) == 0 {
+		t.Fatal("trace recorder captured nothing")
+	}
+	if out := rec.Render(80); !strings.Contains(out, "cpu0") {
+		t.Fatal("trace render")
+	}
+	if data, err := rec.ChromeTrace(); err != nil || len(data) == 0 {
+		t.Fatalf("chrome trace: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module biglittle
+
+go 1.22

@@ -1,0 +1,410 @@
+// Package analysis implements one driver per table and figure in the
+// paper's evaluation (§III, §V, §VI). Each driver returns typed rows so
+// tests and benchmarks can assert on them, and render.go formats them the
+// way the paper presents them. The experiment index lives in DESIGN.md.
+package analysis
+
+import (
+	"biglittle/internal/apps"
+	"biglittle/internal/core"
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+	"biglittle/internal/synth"
+	"biglittle/internal/uarch"
+)
+
+// Options control experiment scale; zero values take the paper-faithful
+// defaults (30 s per app run, full SPEC traces).
+type Options struct {
+	// Duration per simulated app run.
+	Duration event.Time
+	// Seed for workload randomness.
+	Seed int64
+	// Instructions per SPEC trace (0 = the profile default).
+	Instructions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 30 * event.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) appConfig(app apps.App) core.Config {
+	cfg := core.DefaultConfig(app)
+	cfg.Duration = o.Duration
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: SPEC speedup of big core at 1.9/1.3/0.8 GHz vs little at 1.3 GHz.
+
+// Fig2Row is one workload's bars in Figure 2.
+type Fig2Row struct {
+	Workload  string
+	Speedup19 float64 // big @1.9GHz vs little @1.3GHz
+	Speedup13 float64 // big @1.3GHz
+	Speedup08 float64 // big @0.8GHz
+}
+
+// Fig2 reproduces Figure 2.
+func Fig2(o Options) []Fig2Row {
+	o = o.withDefaults()
+	little, big := uarch.CortexA7(), uarch.CortexA15()
+	var rows []Fig2Row
+	for _, p := range synth.SPEC() {
+		base := uarch.Run(little, p, 1300, o.Instructions)
+		rows = append(rows, Fig2Row{
+			Workload:  p.Name,
+			Speedup19: uarch.Speedup(uarch.Run(big, p, 1900, o.Instructions), base),
+			Speedup13: uarch.Speedup(uarch.Run(big, p, 1300, o.Instructions), base),
+			Speedup08: uarch.Speedup(uarch.Run(big, p, 800, o.Instructions), base),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: whole-system power for SPEC on each core/frequency.
+
+// Fig3Row is one workload's bars in Figure 3 (mW, screen and network off).
+type Fig3Row struct {
+	Workload string
+	Little13 float64
+	Big08    float64
+	Big13    float64
+	Big19    float64
+}
+
+// Fig3 reproduces Figure 3. Per-workload variation comes from switching
+// activity: memory-bound workloads issue fewer instructions per cycle, so
+// their dynamic power is scaled by an activity factor derived from IPC.
+func Fig3(o Options) []Fig3Row {
+	o = o.withDefaults()
+	little, big := uarch.CortexA7(), uarch.CortexA15()
+	pw := power.Default()
+	sys := func(m uarch.Model, t platform.CoreType, p synth.Profile, mhz int) float64 {
+		r := uarch.Run(m, p, mhz, o.Instructions)
+		activity := 0.6 + 0.4*r.IPC/float64(m.IssueWidth)
+		tp := pw.Little
+		if t == platform.Big {
+			tp = pw.Big
+		}
+		v := tp.Voltage(mhz)
+		dyn := tp.DynCoefMW * v * v * float64(mhz) * activity
+		return pw.BaseMW + dyn + tp.ActiveOverheadMW*v
+	}
+	var rows []Fig3Row
+	for _, p := range synth.SPEC() {
+		rows = append(rows, Fig3Row{
+			Workload: p.Name,
+			Little13: sys(little, platform.Little, p, 1300),
+			Big08:    sys(big, platform.Big, p, 800),
+			Big13:    sys(big, platform.Big, p, 1300),
+			Big19:    sys(big, platform.Big, p, 1900),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4 and 5: 4 big cores versus 4 little cores for the mobile apps.
+
+// ClusterCompareRow compares an app on little-only versus big-only cores.
+type ClusterCompareRow struct {
+	App string
+	// Latency metrics (latency apps).
+	LatencyReductionPct float64 // how much faster on big (positive = better)
+	// FPS metrics (FPS apps).
+	AvgFPSGainPct float64
+	MinFPSGainPct float64
+	// Power.
+	PowerIncreasePct float64
+	LittleMW, BigMW  float64
+}
+
+func clusterCompare(o Options, app apps.App) ClusterCompareRow {
+	littleCfg := o.appConfig(app)
+	littleCfg.Cores = platform.CoreConfig{Little: 4}
+
+	bigCfg := o.appConfig(app)
+	bigCfg.Cores = platform.CoreConfig{Little: 1, Big: 4}
+	// Force everything onto the big cluster: with a zero up-threshold every
+	// runnable task migrates up immediately, emulating the paper's
+	// big-cores-only runs (one little core must stay online in hardware).
+	bigCfg.Sched.UpThreshold = -1
+	bigCfg.Sched.DownThreshold = -1
+
+	lr := core.Run(littleCfg)
+	br := core.Run(bigCfg)
+
+	row := ClusterCompareRow{
+		App:              app.Name,
+		LittleMW:         lr.AvgPowerMW,
+		BigMW:            br.AvgPowerMW,
+		PowerIncreasePct: pct(br.AvgPowerMW, lr.AvgPowerMW),
+	}
+	if app.Metric == apps.Latency {
+		if br.MeanLatency > 0 && lr.MeanLatency > 0 {
+			row.LatencyReductionPct = 100 * (1 - br.MeanLatency.Seconds()/lr.MeanLatency.Seconds())
+		}
+	} else {
+		row.AvgFPSGainPct = pct(br.AvgFPS, lr.AvgFPS)
+		row.MinFPSGainPct = pct(br.MinFPS, lr.MinFPS)
+	}
+	return row
+}
+
+func pct(new, old float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// Fig4 reproduces Figure 4: latency reduction versus power increase when
+// the seven latency-oriented apps run on 4 big instead of 4 little cores.
+func Fig4(o Options) []ClusterCompareRow {
+	o = o.withDefaults()
+	la := apps.LatencyApps()
+	rows := make([]ClusterCompareRow, len(la))
+	forEach(len(la), func(i int) { rows[i] = clusterCompare(o, la[i]) })
+	return rows
+}
+
+// Fig5 reproduces Figure 5: average and minimum FPS gain versus power
+// increase for the five FPS-oriented apps.
+func Fig5(o Options) []ClusterCompareRow {
+	o = o.withDefaults()
+	fa := apps.FPSApps()
+	rows := make([]ClusterCompareRow, len(fa))
+	forEach(len(fa), func(i int) { rows[i] = clusterCompare(o, fa[i]) })
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: power versus utilization for each core type and frequency.
+
+// Fig6Row is one point of Figure 6.
+type Fig6Row struct {
+	Type    platform.CoreType
+	MHz     int
+	UtilPct int
+	MW      float64
+}
+
+// Fig6 reproduces Figure 6 by running the duty-cycle microbenchmark pinned
+// to a single core of each type with a userspace-pinned frequency.
+func Fig6(o Options) []Fig6Row {
+	o = o.withDefaults()
+	dur := o.Duration / 5
+	if dur < 2*event.Second {
+		dur = o.Duration
+	}
+	var rows []Fig6Row
+	for _, tc := range []struct {
+		typ   platform.CoreType
+		cores platform.CoreConfig
+		pin   int
+		freqs []int
+	}{
+		{platform.Little, platform.CoreConfig{Little: 1}, 0, []int{500, 800, 1000, 1300}},
+		{platform.Big, platform.CoreConfig{Little: 1, Big: 1}, 4, []int{800, 1200, 1500, 1900}},
+	} {
+		for _, mhz := range tc.freqs {
+			for util := 0; util <= 100; util += 20 {
+				cfg := o.appConfig(apps.Micro(util, mhz, tc.pin))
+				cfg.Duration = dur
+				cfg.Cores = tc.cores
+				cfg.Governor = core.Userspace
+				cfg.PinnedMHz = map[int]int{0: mhz, 1: mhz}
+				r := core.Run(cfg)
+				rows = append(rows, Fig6Row{Type: tc.typ, MHz: mhz, UtilPct: util, MW: r.AvgPowerMW})
+			}
+		}
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Tables III and IV, Figures 9/10, Table V: default-configuration runs.
+
+// AppCharacterization bundles all per-app default-run metrics.
+type AppCharacterization struct {
+	Result core.Result
+}
+
+// Characterize runs every app on the baseline configuration; it backs
+// Table III (TLP), Table IV (matrix), Table V (efficiency states), and
+// Figures 9/10 (frequency residency).
+func Characterize(o Options) []core.Result {
+	o = o.withDefaults()
+	all := apps.All()
+	out := make([]core.Result, len(all))
+	forEach(len(all), func(i int) {
+		out[i] = core.Run(o.appConfig(all[i]))
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 and 8: core-count configurations.
+
+// CoreConfigRow holds one app × core-configuration cell of Figures 7/8.
+type CoreConfigRow struct {
+	App    string
+	Config platform.CoreConfig
+	// PerfChangePct is the performance change versus the L4+B4 baseline
+	// (latency apps: positive means faster interactions; FPS apps: average
+	// FPS change).
+	PerfChangePct float64
+	MinFPSChange  float64
+	// PowerSavingPct versus baseline (positive = saves power).
+	PowerSavingPct float64
+}
+
+// CoreConfigs reproduces Figures 7 and 8 across the seven §V-C hotplug
+// combinations for every app.
+func CoreConfigs(o Options) []CoreConfigRow {
+	o = o.withDefaults()
+	all := apps.All()
+	cfgs := platform.StudyConfigs()
+	rows := make([]CoreConfigRow, len(all)*len(cfgs))
+	forEach(len(all), func(ai int) {
+		app := all[ai]
+		base := core.Run(o.appConfig(app))
+		for ci, cc := range cfgs {
+			cfg := o.appConfig(app)
+			cfg.Cores = cc
+			r := core.Run(cfg)
+			row := CoreConfigRow{
+				App:            app.Name,
+				Config:         cc,
+				PowerSavingPct: pct(base.AvgPowerMW, r.AvgPowerMW),
+				PerfChangePct:  pct(r.Performance(), base.Performance()),
+			}
+			if app.Metric == apps.FPS {
+				row.MinFPSChange = pct(r.MinFPS, base.MinFPS)
+			}
+			rows[ai*len(cfgs)+ci] = row
+		}
+	})
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11-13: governor and HMP parameter study.
+
+// Tuning is one of the eight §VI-C configurations.
+type Tuning struct {
+	Name  string
+	Gov   func(*governor.InteractiveConfig)
+	Sched func(*sched.Config)
+}
+
+// Tunings returns the paper's eight parameter variations.
+func Tunings() []Tuning {
+	return []Tuning{
+		{Name: "interval60", Gov: func(g *governor.InteractiveConfig) { g.SampleMs = 60 }},
+		{Name: "interval100", Gov: func(g *governor.InteractiveConfig) { g.SampleMs = 100 }},
+		{Name: "target80", Gov: func(g *governor.InteractiveConfig) { g.TargetLoad = 80 }},
+		{Name: "target60", Gov: func(g *governor.InteractiveConfig) { g.TargetLoad = 60 }},
+		{Name: "hmp_conservative", Sched: func(s *sched.Config) { s.UpThreshold, s.DownThreshold = 850, 400 }},
+		{Name: "hmp_aggressive", Sched: func(s *sched.Config) { s.UpThreshold, s.DownThreshold = 550, 100 }},
+		{Name: "weight_2x", Sched: func(s *sched.Config) { s.HalfLifeMs = 64 }},
+		{Name: "weight_half", Sched: func(s *sched.Config) { s.HalfLifeMs = 16 }},
+	}
+}
+
+// TuningRow is one app × tuning cell of Figures 11-13.
+type TuningRow struct {
+	App             string
+	Tuning          string
+	PowerSavingPct  float64 // vs baseline (positive = saves power)
+	LatencyDeltaPct float64 // latency apps: positive = slower
+	AvgFPSDeltaPct  float64 // FPS apps
+}
+
+// TuningStudy reproduces Figures 11, 12 and 13: every app under the eight
+// governor/HMP parameter configurations, compared to the baseline.
+func TuningStudy(o Options) []TuningRow {
+	o = o.withDefaults()
+	all := apps.All()
+	tns := Tunings()
+	rows := make([]TuningRow, len(all)*len(tns))
+	forEach(len(all), func(ai int) {
+		app := all[ai]
+		base := core.Run(o.appConfig(app))
+		for ti, tn := range tns {
+			cfg := o.appConfig(app)
+			if tn.Gov != nil {
+				tn.Gov(&cfg.Gov)
+			}
+			if tn.Sched != nil {
+				tn.Sched(&cfg.Sched)
+			}
+			r := core.Run(cfg)
+			row := TuningRow{
+				App:            app.Name,
+				Tuning:         tn.Name,
+				PowerSavingPct: pct(base.AvgPowerMW, r.AvgPowerMW),
+			}
+			if app.Metric == apps.Latency {
+				row.LatencyDeltaPct = pct(r.MeanLatency.Seconds(), base.MeanLatency.Seconds())
+			} else {
+				row.AvgFPSDeltaPct = pct(r.AvgFPS, base.AvgFPS)
+			}
+			rows[ai*len(tns)+ti] = row
+		}
+	})
+	return rows
+}
+
+// TuningSummary aggregates TuningStudy rows per tuning: average, min, and
+// max power saving across apps — the bars and whiskers of Figure 11.
+type TuningSummary struct {
+	Tuning       string
+	AvgSavingPct float64
+	MinSavingPct float64
+	MaxSavingPct float64
+}
+
+// SummarizeTuning computes Figure 11's aggregates from TuningStudy rows.
+func SummarizeTuning(rows []TuningRow) []TuningSummary {
+	order := []string{}
+	agg := map[string]*TuningSummary{}
+	for _, r := range rows {
+		s, ok := agg[r.Tuning]
+		if !ok {
+			s = &TuningSummary{Tuning: r.Tuning, MinSavingPct: r.PowerSavingPct, MaxSavingPct: r.PowerSavingPct}
+			agg[r.Tuning] = s
+			order = append(order, r.Tuning)
+		}
+		s.AvgSavingPct += r.PowerSavingPct
+		if r.PowerSavingPct < s.MinSavingPct {
+			s.MinSavingPct = r.PowerSavingPct
+		}
+		if r.PowerSavingPct > s.MaxSavingPct {
+			s.MaxSavingPct = r.PowerSavingPct
+		}
+	}
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.Tuning]++
+	}
+	var out []TuningSummary
+	for _, name := range order {
+		s := agg[name]
+		s.AvgSavingPct /= float64(counts[name])
+		out = append(out, *s)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+)
+
+// PaperTable3 holds the paper's published Table III values per app:
+// idle %, little-only %, big %, TLP.
+var PaperTable3 = map[string][4]float64{
+	"pdf_reader":       {16.14, 86.94, 13.05, 2.06},
+	"video_editor":     {19.44, 89.55, 10.44, 2.25},
+	"photo_editor":     {9.06, 92.49, 7.50, 1.40},
+	"bbench":           {0.10, 52.16, 47.83, 3.95},
+	"virus_scanner":    {2.93, 77.25, 22.74, 2.44},
+	"browser":          {52.94, 94.58, 5.41, 1.86},
+	"encoder":          {0.55, 37.80, 62.19, 1.78},
+	"angry_bird":       {4.41, 99.88, 0.11, 2.34},
+	"eternity_warrior": {3.65, 72.64, 27.35, 2.85},
+	"fifa15":           {9.27, 85.62, 14.37, 2.37},
+	"video_player":     {14.22, 99.38, 0.61, 2.29},
+	"youtube":          {12.72, 99.92, 0.07, 2.29},
+}
+
+// PaperTable4 holds the paper's published Table IV matrices: percentage of
+// 10 ms samples with [big][little] cores active.
+var PaperTable4 = map[string][5][5]float64{
+	"pdf_reader": {
+		{16.14, 33.41, 15.56, 9.46, 4.10},
+		{1.31, 6.84, 6.09, 4.07, 1.75},
+		{0.03, 0.31, 0.23, 0.36, 0.20},
+		{0.00, 0.01, 0.01, 0.03, 0.00},
+		{0, 0, 0, 0, 0},
+	},
+	"video_editor": {
+		{19.44, 26.05, 19.20, 12.23, 11.00},
+		{1.81, 1.95, 1.47, 1.74, 1.02},
+		{1.20, 0.39, 0.17, 0.12, 0.17},
+		{0.59, 0.34, 0.05, 0.05, 0.00},
+		{0.41, 0.25, 0.14, 0.05, 0.05},
+	},
+	"photo_editor": {
+		{9.06, 64.81, 17.25, 4.01, 0.94},
+		{0.35, 0.27, 0.23, 0.09, 0.13},
+		{0.63, 0.19, 0.01, 0.00, 0.00},
+		{0.69, 0.21, 0.01, 0.01, 0.00},
+		{0.51, 0.33, 0.09, 0.01, 0.00},
+	},
+	"bbench": {
+		{0.10, 0.33, 0.83, 1.08, 0.71},
+		{0.92, 6.47, 8.67, 6.78, 5.17},
+		{6.51, 13.26, 12.99, 8.98, 6.18},
+		{2.28, 4.65, 5.09, 3.81, 2.93},
+		{0.37, 0.52, 0.54, 0.44, 0.27},
+	},
+	"virus_scanner": {
+		{2.93, 13.34, 20.09, 17.52, 10.55},
+		{10.35, 5.27, 3.67, 2.64, 1.23},
+		{4.20, 2.08, 0.72, 0.38, 0.24},
+		{1.39, 1.29, 0.36, 0.16, 0.04},
+		{0.56, 0.50, 0.26, 0.10, 0.02},
+	},
+	"browser": {
+		{52.94, 23.16, 10.97, 4.94, 3.52},
+		{0.65, 0.94, 1.05, 0.94, 0.55},
+		{0.00, 0.11, 0.03, 0.09, 0.03},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+	},
+	"encoder": {
+		{0.55, 0.39, 0.28, 0.20, 0.19},
+		{47.34, 27.76, 9.47, 2.82, 1.19},
+		{5.01, 2.13, 0.41, 0.15, 0.09},
+		{0.83, 0.52, 0.03, 0.03, 0.00},
+		{0.21, 0.24, 0.03, 0.01, 0.00},
+	},
+	"angry_bird": {
+		{4.41, 21.16, 33.91, 26.50, 13.75},
+		{0.01, 0.09, 0.01, 0.05, 0.05},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+	},
+	"eternity_warrior": {
+		{3.65, 8.28, 8.88, 7.71, 5.68},
+		{8.84, 13.78, 13.91, 11.11, 8.84},
+		{1.18, 2.28, 2.69, 1.76, 1.04},
+		{0.03, 0.06, 0.08, 0.05, 0.03},
+		{0, 0, 0, 0, 0},
+	},
+	"fifa15": {
+		{9.27, 20.23, 21.11, 12.98, 7.97},
+		{3.59, 7.57, 7.48, 4.49, 2.79},
+		{0.50, 0.62, 0.61, 0.39, 0.20},
+		{0.02, 0.02, 0.04, 0.01, 0.00},
+		{0, 0, 0, 0, 0},
+	},
+	"video_player": {
+		{14.22, 24.17, 26.09, 19.89, 14.55},
+		{0.21, 0.25, 0.30, 0.02, 0.07},
+		{0.01, 0.04, 0.04, 0.01, 0.05},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+	},
+	"youtube": {
+		{12.72, 27.20, 23.39, 20.34, 16.18},
+		{0.00, 0.03, 0.03, 0.09, 0.00},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0},
+	},
+}
+
+// FidelityRow quantifies one app's distance from the paper's measurements.
+type FidelityRow struct {
+	App string
+	// Absolute errors against Table III.
+	IdleErr float64
+	BigErr  float64
+	TLPErr  float64
+	// MatrixTVD is the total-variation distance between the simulated and
+	// published Table IV active-core distributions, in [0,1]: 0 means the
+	// distributions coincide, 1 means disjoint support.
+	MatrixTVD float64
+}
+
+// Fidelity runs the default characterization and scores it against the
+// paper's published Tables III and IV — an honest, quantitative statement
+// of how close the reproduction is, beyond eyeballing.
+func Fidelity(o Options) []FidelityRow {
+	results := Characterize(o)
+	rows := make([]FidelityRow, 0, len(results))
+	for _, r := range results {
+		p3, ok := PaperTable3[r.App]
+		if !ok {
+			continue
+		}
+		row := FidelityRow{
+			App:     r.App,
+			IdleErr: math.Abs(r.TLP.IdlePct - p3[0]),
+			BigErr:  math.Abs(r.TLP.BigPct - p3[2]),
+			TLPErr:  math.Abs(r.TLP.TLP - p3[3]),
+		}
+		if pm, ok := PaperTable4[r.App]; ok {
+			row.MatrixTVD = matrixTVD(r.Matrix, pm)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// matrixTVD is half the L1 distance between two (percent-valued)
+// distributions, after normalizing each to sum to 1.
+func matrixTVD(a, b [5][5]float64) float64 {
+	sumA, sumB := 0.0, 0.0
+	for i := range a {
+		for j := range a[i] {
+			sumA += a[i][j]
+			sumB += b[i][j]
+		}
+	}
+	if sumA == 0 || sumB == 0 {
+		return 1
+	}
+	d := 0.0
+	for i := range a {
+		for j := range a[i] {
+			d += math.Abs(a[i][j]/sumA - b[i][j]/sumB)
+		}
+	}
+	return d / 2
+}
+
+// FidelitySummary aggregates the suite-wide fidelity.
+type FidelitySummary struct {
+	MeanIdleErr   float64
+	MeanBigErr    float64
+	MeanTLPErr    float64
+	MeanMatrixTVD float64
+	WorstApp      string
+	WorstTVD      float64
+}
+
+// SummarizeFidelity computes suite averages and the worst matrix fit.
+func SummarizeFidelity(rows []FidelityRow) FidelitySummary {
+	var s FidelitySummary
+	if len(rows) == 0 {
+		return s
+	}
+	for _, r := range rows {
+		s.MeanIdleErr += r.IdleErr
+		s.MeanBigErr += r.BigErr
+		s.MeanTLPErr += r.TLPErr
+		s.MeanMatrixTVD += r.MatrixTVD
+		if r.MatrixTVD > s.WorstTVD {
+			s.WorstTVD = r.MatrixTVD
+			s.WorstApp = r.App
+		}
+	}
+	n := float64(len(rows))
+	s.MeanIdleErr /= n
+	s.MeanBigErr /= n
+	s.MeanTLPErr /= n
+	s.MeanMatrixTVD /= n
+	return s
+}
+
+// RenderFidelity formats the fidelity scoring.
+func RenderFidelity(rows []FidelityRow) string {
+	out := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Fidelity vs the paper's published Tables III/IV")
+		fmt.Fprintln(w, "app\t|Δidle| pp\t|Δbig| pp\t|ΔTLP|\tTable IV TVD")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.2f\t%.3f\n", r.App, r.IdleErr, r.BigErr, r.TLPErr, r.MatrixTVD)
+		}
+	})
+	s := SummarizeFidelity(rows)
+	out += fmt.Sprintf("suite means: idle %.1f pp, big %.1f pp, TLP %.2f, matrix TVD %.3f (worst: %s %.3f)\n",
+		s.MeanIdleErr, s.MeanBigErr, s.MeanTLPErr, s.MeanMatrixTVD, s.WorstApp, s.WorstTVD)
+	return out
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/core"
+)
+
+// GovernorRow compares one app across DVFS governors, relative to the
+// interactive baseline.
+type GovernorRow struct {
+	App      string
+	Governor string
+	// Deltas versus the interactive-governor baseline.
+	PerfChangePct  float64
+	PowerChangePct float64
+}
+
+// GovernorStudy runs every app under the ondemand, conservative, and PAST
+// governors (§IV-D's lineage of the interactive governor) plus the
+// performance governor as an upper bound, comparing power and performance
+// with the interactive baseline.
+func GovernorStudy(o Options) []GovernorRow {
+	o = o.withDefaults()
+	kinds := []core.GovernorKind{core.Ondemand, core.Conservative, core.PAST, core.Performance}
+	all := apps.All()
+	rows := make([]GovernorRow, len(all)*len(kinds))
+	forEach(len(all), func(ai int) {
+		app := all[ai]
+		base := core.Run(o.appConfig(app))
+		for ki, k := range kinds {
+			cfg := o.appConfig(app)
+			cfg.Governor = k
+			r := core.Run(cfg)
+			rows[ai*len(kinds)+ki] = GovernorRow{
+				App:            app.Name,
+				Governor:       k.String(),
+				PerfChangePct:  pct(r.Performance(), base.Performance()),
+				PowerChangePct: pct(r.AvgPowerMW, base.AvgPowerMW),
+			}
+		}
+	})
+	return rows
+}
+
+// RenderGovernors formats the governor comparison.
+func RenderGovernors(rows []GovernorRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "DVFS governors (§IV-D lineage) vs the interactive baseline")
+		fmt.Fprintln(w, "app\tgovernor\tperf vs interactive %\tpower vs interactive %")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%+.1f\t%+.1f\n", r.App, r.Governor, r.PerfChangePct, r.PowerChangePct)
+		}
+	})
+}

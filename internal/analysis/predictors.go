@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"biglittle/internal/bpred"
+	"biglittle/internal/synth"
+)
+
+// PredictorRow holds one workload's misprediction rates under the predictor
+// classes of the two core types.
+type PredictorRow struct {
+	Workload   string
+	Static     float64 // static-taken baseline
+	Bimodal    float64 // A7-class
+	Tournament float64 // A15-class
+	// Ratio is tournament/bimodal — the measured counterpart of the uarch
+	// model's PredictorFactor (0.55).
+	Ratio float64
+}
+
+// PredictorStudy measures real bimodal and tournament predictors over
+// structured branch traces derived from each SPEC-like profile, validating
+// the PredictorFactor the Cortex-A15 CPI model assumes.
+func PredictorStudy(o Options) []PredictorRow {
+	o = o.withDefaults()
+	n := o.Instructions
+	if n <= 0 {
+		n = 200_000
+	}
+	profiles := synth.SPEC()
+	rows := make([]PredictorRow, len(profiles))
+	forEach(len(profiles), func(i int) {
+		p := profiles[i]
+		tr := bpred.Trace(p, n)
+		row := PredictorRow{
+			Workload:   p.Name,
+			Static:     bpred.Measure(bpred.StaticTaken{}, tr),
+			Bimodal:    bpred.Measure(bpred.CortexA7Predictor(), tr),
+			Tournament: bpred.Measure(bpred.CortexA15Predictor(), tr),
+		}
+		if row.Bimodal > 0 {
+			row.Ratio = row.Tournament / row.Bimodal
+		}
+		rows[i] = row
+	})
+	return rows
+}
+
+// RenderPredictors formats the predictor validation study.
+func RenderPredictors(rows []PredictorRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Branch predictor validation (mispredict rates; A15 CPI model assumes tournament/bimodal = 0.55)")
+		fmt.Fprintln(w, "workload\tstatic\tbimodal (A7)\ttournament (A15)\tratio")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.2f\n",
+				r.Workload, r.Static, r.Bimodal, r.Tournament, r.Ratio)
+		}
+	})
+}

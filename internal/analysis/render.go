@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"biglittle/internal/core"
+	"biglittle/internal/platform"
+)
+
+func table(fill func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fill(w)
+	w.Flush()
+	return b.String()
+}
+
+// RenderFig2 formats Figure 2's speedup bars.
+func RenderFig2(rows []Fig2Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 2: speedup vs little core @1.3GHz")
+		fmt.Fprintln(w, "workload\tbig@1.9\tbig@1.3\tbig@0.8")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n", r.Workload, r.Speedup19, r.Speedup13, r.Speedup08)
+		}
+	})
+}
+
+// RenderFig3 formats Figure 3's power bars.
+func RenderFig3(rows []Fig3Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 3: system power (mW) for SPEC workloads")
+		fmt.Fprintln(w, "workload\tlittle@1.3\tbig@0.8\tbig@1.3\tbig@1.9")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n", r.Workload, r.Little13, r.Big08, r.Big13, r.Big19)
+		}
+	})
+}
+
+// RenderFig4 formats Figure 4 (latency apps: 4 big vs 4 little).
+func RenderFig4(rows []ClusterCompareRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 4: 4 big vs 4 little cores (latency apps)")
+		fmt.Fprintln(w, "app\tlatency reduction %\tpower increase %\tlittle mW\tbig mW")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.0f\t%.0f\n",
+				r.App, r.LatencyReductionPct, r.PowerIncreasePct, r.LittleMW, r.BigMW)
+		}
+	})
+}
+
+// RenderFig5 formats Figure 5 (FPS apps: 4 big vs 4 little).
+func RenderFig5(rows []ClusterCompareRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 5: 4 big vs 4 little cores (FPS apps)")
+		fmt.Fprintln(w, "app\tavg FPS gain %\tmin FPS gain %\tpower increase %")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\n",
+				r.App, r.AvgFPSGainPct, r.MinFPSGainPct, r.PowerIncreasePct)
+		}
+	})
+}
+
+// RenderFig6 formats Figure 6 (power vs utilization per frequency).
+func RenderFig6(rows []Fig6Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 6: system power (mW) by core utilization and frequency")
+		fmt.Fprintln(w, "core\tMHz\tutil%\tmW")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%v\t%d\t%d\t%.0f\n", r.Type, r.MHz, r.UtilPct, r.MW)
+		}
+	})
+}
+
+// RenderTable3 formats Table III from default-run results.
+func RenderTable3(results []core.Result) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Table III: thread-level parallelism with 8 cores")
+		fmt.Fprintln(w, "app\tidle%\tlittle%\tbig%\tTLP")
+		for _, r := range results {
+			fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				r.App, r.TLP.IdlePct, r.TLP.LittleOnlyPct, r.TLP.BigPct, r.TLP.TLP)
+		}
+	})
+}
+
+// RenderTable4 formats one app's Table IV matrix.
+func RenderTable4(r core.Result) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Table IV: %s (%% of samples, rows = big cores, cols = little cores)\n", r.App)
+		fmt.Fprintln(w, "\tC0\tC1\tC2\tC3\tC4")
+		for b := 0; b <= 4; b++ {
+			fmt.Fprintf(w, "C%d", b)
+			for l := 0; l <= 4; l++ {
+				fmt.Fprintf(w, "\t%.2f", r.Matrix[b][l])
+			}
+			fmt.Fprintln(w)
+		}
+	})
+}
+
+// RenderTable5 formats Table V from default-run results.
+func RenderTable5(results []core.Result) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Table V: efficiency decomposition (% of active core-samples)")
+		fmt.Fprintln(w, "app\tMin\t<50%\t<70%\t70-95%\t>95%\tFull")
+		for _, r := range results {
+			fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				r.App, r.Eff[0], r.Eff[1], r.Eff[2], r.Eff[3], r.Eff[4], r.Eff[5])
+		}
+	})
+}
+
+// RenderResidency formats Figure 9 (little) or Figure 10 (big) from
+// default-run results.
+func RenderResidency(results []core.Result, t platform.CoreType) string {
+	return table(func(w *tabwriter.Writer) {
+		if t == platform.Little {
+			fmt.Fprintln(w, "Figure 9: little core frequency distribution (% of active time)")
+		} else {
+			fmt.Fprintln(w, "Figure 10: big core frequency distribution (% of active time)")
+		}
+		if len(results) == 0 {
+			return
+		}
+		freqs := results[0].LittleFreqs
+		if t == platform.Big {
+			freqs = results[0].BigFreqs
+		}
+		fmt.Fprint(w, "app")
+		for _, f := range freqs {
+			fmt.Fprintf(w, "\t%d", f)
+		}
+		fmt.Fprintln(w)
+		for _, r := range results {
+			res := r.LittleResidency
+			if t == platform.Big {
+				res = r.BigResidency
+			}
+			fmt.Fprint(w, r.App)
+			for _, v := range res {
+				fmt.Fprintf(w, "\t%.1f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	})
+}
+
+// RenderCoreConfigs formats Figures 7 and 8.
+func RenderCoreConfigs(rows []CoreConfigRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figures 7/8: core configurations vs L4+B4 baseline")
+		fmt.Fprintln(w, "app\tconfig\tperf change %\tmin-FPS change %\tpower saving %")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.1f\n",
+				r.App, r.Config, r.PerfChangePct, r.MinFPSChange, r.PowerSavingPct)
+		}
+	})
+}
+
+// RenderTuning formats Figures 11-13 from TuningStudy rows.
+func RenderTuning(rows []TuningRow) string {
+	out := table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figure 11: power saving by governor/HMP configuration")
+		fmt.Fprintln(w, "tuning\tavg saving %\tmin %\tmax %")
+		for _, s := range SummarizeTuning(rows) {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\n", s.Tuning, s.AvgSavingPct, s.MinSavingPct, s.MaxSavingPct)
+		}
+	})
+	out += table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Figures 12/13: performance change by configuration")
+		fmt.Fprintln(w, "app\ttuning\tlatency delta %\tavg FPS delta %")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\n", r.App, r.Tuning, r.LatencyDeltaPct, r.AvgFPSDeltaPct)
+		}
+	})
+	return out
+}

@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/metrics"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+	"biglittle/internal/workload"
+)
+
+func buildAndRun(t *testing.T, app App, dur event.Time) (*workload.Ctx, *sched.System) {
+	t.Helper()
+	eng := event.New()
+	sys := sched.New(eng, platform.Exynos5422(), sched.DefaultConfig())
+	sys.Start()
+	governor.NewInteractive(sys, governor.DefaultInteractive()).Start()
+	ctx := &workload.Ctx{
+		Eng: eng, Sys: sys, Rng: rand.New(rand.NewSource(1)),
+		Duration: dur,
+		FPS:      &metrics.FPSTracker{},
+		Lat:      &metrics.LatencyTracker{},
+	}
+	app.Build(ctx)
+	eng.Run(dur)
+	return ctx, sys
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("%d apps, want 12 (Table II)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Desc == "" || a.Build == nil {
+			t.Errorf("incomplete app %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(LatencyApps()) != 7 {
+		t.Fatalf("%d latency apps, want 7", len(LatencyApps()))
+	}
+	if len(FPSApps()) != 5 {
+		t.Fatalf("%d FPS apps, want 5", len(FPSApps()))
+	}
+	if _, err := ByName("bbench"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown app lookup succeeded")
+	}
+	if Latency.String() != "Latency" || FPS.String() != "FPS" {
+		t.Fatal("Metric strings")
+	}
+}
+
+func TestEveryAppGeneratesActivity(t *testing.T) {
+	for _, app := range All() {
+		ctx, sys := buildAndRun(t, app, 3*event.Second)
+		total := 0.0
+		for _, task := range sys.Tasks() {
+			total += task.TotalWork
+		}
+		if total == 0 {
+			t.Errorf("%s: no work executed", app.Name)
+		}
+		switch app.Metric {
+		case Latency:
+			if ctx.Lat.N == 0 {
+				t.Errorf("%s: no interactions recorded", app.Name)
+			}
+		case FPS:
+			if ctx.FPS.Count() == 0 {
+				t.Errorf("%s: no frames recorded", app.Name)
+			}
+		}
+	}
+}
+
+func TestAppsDeterministic(t *testing.T) {
+	for _, app := range []App{BBench(), EternityWarrior()} {
+		ctx1, sys1 := buildAndRun(t, app, 2*event.Second)
+		ctx2, sys2 := buildAndRun(t, app, 2*event.Second)
+		if ctx1.Lat.N != ctx2.Lat.N || ctx1.FPS.Count() != ctx2.FPS.Count() {
+			t.Errorf("%s: nondeterministic metrics", app.Name)
+		}
+		w1, w2 := 0.0, 0.0
+		for _, task := range sys1.Tasks() {
+			w1 += task.TotalWork
+		}
+		for _, task := range sys2.Tasks() {
+			w2 += task.TotalWork
+		}
+		if w1 != w2 {
+			t.Errorf("%s: nondeterministic work %f vs %f", app.Name, w1, w2)
+		}
+	}
+}
+
+func TestGamesHoldFrameRate(t *testing.T) {
+	for _, tc := range []struct {
+		app    App
+		minFPS float64
+		maxFPS float64
+	}{
+		{AngryBird(), 40, 61},
+		{VideoPlayer(), 25, 31},
+		{Youtube(), 25, 31},
+	} {
+		ctx, _ := buildAndRun(t, tc.app, 5*event.Second)
+		fps := ctx.FPS.Avg(5 * event.Second)
+		if fps < tc.minFPS || fps > tc.maxFPS {
+			t.Errorf("%s: %.1f FPS outside [%.0f, %.0f]", tc.app.Name, fps, tc.minFPS, tc.maxFPS)
+		}
+	}
+}
+
+func TestEncoderWorkerMigratesUp(t *testing.T) {
+	_, sys := buildAndRun(t, Encoder(), 5*event.Second)
+	for _, task := range sys.Tasks() {
+		if task.Name == "enc.worker" {
+			if task.BigRanNs == 0 {
+				t.Fatal("encoder worker never ran on a big core")
+			}
+			if task.BigRanNs < task.LittleRanNs {
+				t.Fatalf("encoder worker mostly on little (%v big vs %v little)",
+					task.BigRanNs, task.LittleRanNs)
+			}
+			return
+		}
+	}
+	t.Fatal("enc.worker not found")
+}
+
+func TestAngryBirdStaysLittle(t *testing.T) {
+	_, sys := buildAndRun(t, AngryBird(), 5*event.Second)
+	var big, little event.Time
+	for _, task := range sys.Tasks() {
+		big += task.BigRanNs
+		little += task.LittleRanNs
+	}
+	if little == 0 {
+		t.Fatal("no little-core execution")
+	}
+	if frac := float64(big) / float64(big+little); frac > 0.02 {
+		t.Fatalf("angry bird ran %.1f%% on big cores, paper ~0.1%%", 100*frac)
+	}
+}
+
+func TestMicroDutyCycle(t *testing.T) {
+	eng := event.New()
+	soc := platform.Exynos5422()
+	sys := sched.New(eng, soc, sched.DefaultConfig())
+	sys.Start()
+	sys.SetClusterFreq(0, 1000)
+	ctx := &workload.Ctx{
+		Eng: eng, Sys: sys, Rng: rand.New(rand.NewSource(1)),
+		Duration: 2 * event.Second,
+	}
+	Micro(40, 1000, 0).Build(ctx)
+	eng.Run(ctx.Duration)
+	var busy event.Time
+	for _, task := range sys.Tasks() {
+		busy += task.LittleRanNs + task.BigRanNs
+	}
+	frac := float64(busy) / float64(ctx.Duration)
+	if frac < 0.37 || frac > 0.43 {
+		t.Fatalf("microbenchmark duty %.3f, want 0.40", frac)
+	}
+	// The spinner must stay on its pinned core.
+	for _, task := range sys.Tasks() {
+		if task.BigRanNs != 0 {
+			t.Fatal("pinned spinner ran on a big core")
+		}
+	}
+}
+
+func TestPhaseSchedulePrecomputed(t *testing.T) {
+	// Building an app must not consume engine randomness lazily for phases:
+	// two identical builds produce identical phase flips. Verified through
+	// end-to-end determinism of the heavy-phase game.
+	a1, _ := buildAndRun(t, EternityWarrior(), 3*event.Second)
+	a2, _ := buildAndRun(t, EternityWarrior(), 3*event.Second)
+	if a1.FPS.Count() != a2.FPS.Count() {
+		t.Fatal("phase schedules diverged between identical runs")
+	}
+}

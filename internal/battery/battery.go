@@ -1,0 +1,45 @@
+// Package battery converts the power model's output into battery-life
+// estimates — the quantity mobile users actually experience. The default
+// pack matches the paper's Galaxy S5 (2800 mAh at 3.85 V nominal).
+package battery
+
+import (
+	"biglittle/internal/event"
+)
+
+// Pack describes a battery.
+type Pack struct {
+	CapacityMAh float64
+	NominalV    float64
+}
+
+// GalaxyS5 returns the paper's device battery.
+func GalaxyS5() Pack { return Pack{CapacityMAh: 2800, NominalV: 3.85} }
+
+// EnergyJ returns the pack's total energy in joules.
+func (p Pack) EnergyJ() float64 { return p.CapacityMAh / 1000 * p.NominalV * 3600 }
+
+// HoursAt returns how long the pack lasts at a constant draw of mw
+// milliwatts, capped at 1000 hours for near-zero draws.
+func (p Pack) HoursAt(mw float64) float64 {
+	if mw <= 0 {
+		return 1000
+	}
+	h := p.EnergyJ() / (mw / 1000) / 3600
+	if h > 1000 {
+		h = 1000
+	}
+	return h
+}
+
+// DrainPct returns the percentage of the pack consumed by energyMJ
+// millijoules of use.
+func (p Pack) DrainPct(energyMJ float64) float64 {
+	return 100 * (energyMJ / 1000) / p.EnergyJ()
+}
+
+// DrainOver returns the percentage of the pack consumed by running at mw
+// milliwatts for the given duration.
+func (p Pack) DrainOver(mw float64, d event.Time) float64 {
+	return p.DrainPct(mw * d.Seconds())
+}

@@ -1,0 +1,42 @@
+package battery
+
+import (
+	"math"
+	"testing"
+
+	"biglittle/internal/event"
+)
+
+func TestPackEnergy(t *testing.T) {
+	p := GalaxyS5()
+	// 2.8 Ah x 3.85 V = 10.78 Wh = 38808 J.
+	if math.Abs(p.EnergyJ()-38808) > 1 {
+		t.Fatalf("energy %.0f J, want 38808", p.EnergyJ())
+	}
+}
+
+func TestHoursAt(t *testing.T) {
+	p := GalaxyS5()
+	// At 1078 mW the 10.78 Wh pack lasts exactly 10 hours.
+	if h := p.HoursAt(1078); math.Abs(h-10) > 0.01 {
+		t.Fatalf("HoursAt(1078) = %.3f, want 10", h)
+	}
+	if h := p.HoursAt(0); h != 1000 {
+		t.Fatalf("zero draw returned %.1f, want the 1000h cap", h)
+	}
+	if h := p.HoursAt(0.001); h != 1000 {
+		t.Fatal("cap not applied")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	p := GalaxyS5()
+	// Running 1000 mW for 1 hour = 3600 J.
+	got := p.DrainOver(1000, 3600*event.Second)
+	if math.Abs(got-100.0*3600.0/38808.0) > 0.01 {
+		t.Fatalf("DrainOver = %.3f%%", got)
+	}
+	if p.DrainPct(0) != 0 {
+		t.Fatal("zero energy drains")
+	}
+}

@@ -1,0 +1,220 @@
+// Package cache implements a set-associative cache simulator with true-LRU
+// replacement and a two-level hierarchy, used by the microarchitecture model
+// to reproduce the L2-size-driven performance gap between the Cortex-A15
+// (2 MB L2) and Cortex-A7 (512 KB L2) clusters described in the paper.
+//
+// The simulator is trace-driven: it consumes byte addresses and reports
+// hit/miss per level. Latencies are attached by the uarch model, not here.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name  string
+	SizeB int // total capacity in bytes
+	Ways  int // associativity
+	LineB int // line size in bytes
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeB / (c.Ways * c.LineB) }
+
+// Validate reports whether the configuration is internally consistent:
+// power-of-two line size and set count, and positive dimensions.
+func (c Config) Validate() error {
+	if c.SizeB <= 0 || c.Ways <= 0 || c.LineB <= 0 {
+		return fmt.Errorf("cache %q: non-positive dimension", c.Name)
+	}
+	if c.SizeB%(c.Ways*c.LineB) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line %d", c.Name, c.SizeB, c.Ways*c.LineB)
+	}
+	if c.LineB&(c.LineB-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineB)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// Stats accumulates access counts for one cache level.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	// lastUse implements true LRU via a global access counter.
+	lastUse uint64
+}
+
+// Cache is a single set-associative cache level with LRU replacement.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache from cfg; it panics on an invalid configuration since
+// configurations are compile-time constants in this simulator.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineB {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(nsets - 1),
+		lineShift: shift,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics while keeping cache contents — used to
+// exclude warmup accesses from measurement.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset clears all contents and statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access looks up addr, allocating the line on a miss (write-allocate for
+// both loads and stores — the distinction does not matter for the CPI model).
+// It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.stats.Accesses++
+	blk := addr >> c.lineShift
+	set := c.sets[blk&c.setMask]
+	tag := blk >> 0 // full block address as tag; set bits are redundant but harmless
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if set[i].lastUse < oldest {
+			oldest = set[i].lastUse
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = line{tag: tag, valid: true, lastUse: c.clock}
+	return false
+}
+
+// Contains reports whether addr is currently resident, without touching
+// LRU state or statistics. Intended for tests.
+func (c *Cache) Contains(addr uint64) bool {
+	blk := addr >> c.lineShift
+	set := c.sets[blk&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+const (
+	L1 Level = iota
+	L2
+	Memory
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	default:
+		return "Memory"
+	}
+}
+
+// Hierarchy is a two-level data-cache hierarchy (L1D backed by a unified L2).
+// Instruction caches are modeled separately by the uarch package using a
+// standalone Cache, because instruction streams in the synthetic workloads
+// have near-perfect locality.
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+}
+
+// NewHierarchy builds a hierarchy from per-level configs.
+func NewHierarchy(l1d, l2 Config) *Hierarchy {
+	return &Hierarchy{L1D: New(l1d), L2: New(l2)}
+}
+
+// Access walks addr through the hierarchy and returns the level that
+// satisfied it. An L1 miss always probes L2; an L2 miss goes to memory and
+// fills both levels (inclusive fill).
+func (h *Hierarchy) Access(addr uint64) Level {
+	if h.L1D.Access(addr) {
+		return L1
+	}
+	if h.L2.Access(addr) {
+		return L2
+	}
+	return Memory
+}
+
+// Reset clears both levels.
+func (h *Hierarchy) Reset() {
+	h.L1D.Reset()
+	h.L2.Reset()
+}

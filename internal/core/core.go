@@ -1,0 +1,371 @@
+// Package core assembles the full simulated platform — SoC, power model, HMP
+// scheduler, frequency governor, application workload, and the 10 ms metric
+// sampler — and runs one experiment, producing a Result with every metric
+// the paper reports: TLP and core-usage decomposition (Tables III/IV),
+// efficiency states (Table V), frequency residency (Figures 9/10), average
+// system power, and the app's latency or FPS performance.
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"biglittle/internal/altsched"
+	"biglittle/internal/apps"
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/metrics"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+	"biglittle/internal/thermal"
+	"biglittle/internal/workload"
+)
+
+// SchedulerKind selects the thread-to-core mapping policy (§IV-A).
+type SchedulerKind int
+
+const (
+	// HMP is the commercial utilization-based scheduler (Algorithm 1).
+	HMP SchedulerKind = iota
+	// EfficiencyBased maps the top-N threads by big-core speedup to the N
+	// big cores (Kumar et al.).
+	EfficiencyBased
+	// ParallelismAware uses big cores for serial phases and little cores
+	// when parallelism is abundant (Saez et al.).
+	ParallelismAware
+	// EAS places each task on the cluster with the lowest modeled energy
+	// per unit of work — the policy that replaced HMP in mainline Linux.
+	EAS
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case EfficiencyBased:
+		return "efficiency"
+	case ParallelismAware:
+		return "parallelism"
+	case EAS:
+		return "eas"
+	default:
+		return "hmp"
+	}
+}
+
+// GovernorKind selects the DVFS policy for a run.
+type GovernorKind int
+
+const (
+	// Interactive is the paper's default load-tracking governor.
+	Interactive GovernorKind = iota
+	// Performance pins all clusters at maximum frequency.
+	Performance
+	// Powersave pins all clusters at minimum frequency.
+	Powersave
+	// Userspace pins clusters at Config.PinnedMHz.
+	Userspace
+	// Ondemand is the classic Linux governor: jump to max above the
+	// threshold, proportional otherwise.
+	Ondemand
+	// Conservative steps the frequency one table entry at a time.
+	Conservative
+	// PAST is Weiser et al.'s policy, the interactive governor's precursor
+	// (§IV-D).
+	PAST
+)
+
+func (k GovernorKind) String() string {
+	switch k {
+	case Performance:
+		return "performance"
+	case Powersave:
+		return "powersave"
+	case Userspace:
+		return "userspace"
+	case Ondemand:
+		return "ondemand"
+	case Conservative:
+		return "conservative"
+	case PAST:
+		return "past"
+	default:
+		return "interactive"
+	}
+}
+
+// Config describes one simulation run. The zero value is not runnable; use
+// DefaultConfig and override fields.
+type Config struct {
+	App      apps.App
+	Seed     int64
+	Duration event.Time
+
+	// Cores is the hotplug configuration (default L4+B4).
+	Cores platform.CoreConfig
+
+	Sched sched.Config
+	// Scheduler selects the mapping policy; HMP is the paper's baseline.
+	Scheduler SchedulerKind
+	Governor  GovernorKind
+	Gov       governor.InteractiveConfig
+	// PinnedMHz maps cluster ID to frequency for the Userspace governor.
+	PinnedMHz map[int]int
+
+	Power power.Params
+
+	// Platform, when non-nil, overrides the SoC (default: Exynos 5422, or
+	// its tiny-extended variant when Cores.Tiny > 0). Pair a non-default
+	// platform with matching Power parameters.
+	Platform func() *platform.SoC
+
+	// Thermal, when non-nil, enables the per-cluster thermal model and its
+	// throttling governor.
+	Thermal *thermal.Params
+
+	// OnSystem, if set, is called with the assembled scheduler system right
+	// before the workload is built — an extension point for attaching trace
+	// recorders or custom policies.
+	OnSystem func(sys *sched.System)
+}
+
+// DefaultConfig returns the paper's baseline system configuration for app.
+func DefaultConfig(app apps.App) Config {
+	return Config{
+		App:      app,
+		Seed:     1,
+		Duration: 30 * event.Second,
+		Cores:    platform.Baseline(),
+		Sched:    sched.DefaultConfig(),
+		Governor: Interactive,
+		Gov:      governor.DefaultInteractive(),
+		Power:    power.Default(),
+	}
+}
+
+// Result holds every metric collected from one run.
+type Result struct {
+	App       string
+	Metric    apps.Metric
+	Duration  event.Time
+	Cores     platform.CoreConfig
+	Scheduler SchedulerKind
+
+	TLP    metrics.TLPReport
+	Matrix [5][5]float64
+	Eff    [6]float64
+	// TinyActivePct is the share of active core-samples served by tiny
+	// cores (tiny-core extension platform only).
+	TinyActivePct float64
+	// AvgLittleUtil / AvgBigUtil are the mean utilizations of the online
+	// cores of each cluster over the whole run — the quantity behind the
+	// paper's "mobile applications have low CPU utilization".
+	AvgLittleUtil float64
+	AvgBigUtil    float64
+
+	// Residency indexes match the cluster frequency tables.
+	LittleFreqs     []int
+	BigFreqs        []int
+	LittleResidency []float64
+	BigResidency    []float64
+
+	AvgPowerMW float64
+	EnergyMJ   float64
+
+	// Latency metrics (latency-oriented apps).
+	Interactions int
+	MeanLatency  event.Time
+	TotalLatency event.Time
+	WorstLatency event.Time
+
+	// FPS metrics (FPS-oriented apps).
+	Frames int
+	AvgFPS float64
+	MinFPS float64
+
+	// Scheduler counters.
+	HMPMigrations int
+	// TotalWorkGc is the total executed work in giga-cycles across all
+	// tasks — a throughput measure for workloads without a latency/FPS
+	// metric (e.g. stress tests).
+	TotalWorkGc float64
+	// TaskStats breaks execution and attributed energy down per thread,
+	// sorted by energy descending.
+	TaskStats []TaskStat
+
+	// Sustained-performance metrics (FPS apps): average FPS over the first
+	// and second halves of the run — they diverge under thermal throttling.
+	FPSFirstHalf  float64
+	FPSSecondHalf float64
+	// Thermal metrics (zero unless Config.Thermal was set).
+	MaxTempC     float64
+	ThrottledPct float64
+}
+
+// TaskStat is one thread's share of a run.
+type TaskStat struct {
+	Name       string
+	EnergyJ    float64
+	LittleMs   float64
+	BigMs      float64
+	TinyMs     float64
+	Migrations int
+}
+
+// Run executes one simulation and gathers its Result.
+func Run(cfg Config) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * event.Second
+	}
+	if cfg.Cores == (platform.CoreConfig{}) {
+		cfg.Cores = platform.Baseline()
+	}
+	if cfg.Sched == (sched.Config{}) {
+		cfg.Sched = sched.DefaultConfig()
+	}
+	if cfg.Power == (power.Params{}) {
+		cfg.Power = power.Default()
+	}
+
+	eng := event.New()
+	var soc *platform.SoC
+	switch {
+	case cfg.Platform != nil:
+		soc = cfg.Platform()
+	case cfg.Cores.Tiny > 0:
+		soc = platform.Exynos5422Tiny()
+	default:
+		soc = platform.Exynos5422()
+	}
+	if err := cfg.Cores.Apply(soc); err != nil {
+		panic(err) // configurations are validated values; misuse is a bug
+	}
+	sys := sched.New(eng, soc, cfg.Sched)
+	pw := cfg.Power
+	sys.EnergyModel = func(typ platform.CoreType, mhz int) float64 {
+		return pw.CorePowerMW(typ, mhz, 1) - pw.CorePowerMW(typ, mhz, 0)
+	}
+	sys.Start()
+
+	switch cfg.Scheduler {
+	case EfficiencyBased:
+		altsched.NewEfficiency(sys)
+	case ParallelismAware:
+		altsched.NewParallelism(sys)
+	case EAS:
+		altsched.NewEAS(sys, cfg.Power)
+	}
+
+	switch cfg.Governor {
+	case Performance:
+		governor.NewPerformance(sys).Start()
+	case Powersave:
+		governor.NewPowersave(sys).Start()
+	case Userspace:
+		governor.NewUserspace(sys, cfg.PinnedMHz).Start()
+	case Ondemand:
+		governor.NewOndemand(sys, cfg.Gov.SampleMs, 80).Start()
+	case Conservative:
+		governor.NewConservative(sys, cfg.Gov.SampleMs, 80, 35).Start()
+	case PAST:
+		governor.NewPAST(sys, cfg.Gov.SampleMs).Start()
+	default:
+		g := governor.NewInteractive(sys, cfg.Gov)
+		g.Start()
+	}
+
+	sampler := metrics.NewSampler(sys, cfg.Power)
+	sampler.Start()
+
+	var therm *thermal.Model
+	if cfg.Thermal != nil {
+		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
+		therm.Start()
+	}
+
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
+
+	ctx := &workload.Ctx{
+		Eng:      eng,
+		Sys:      sys,
+		Rng:      rand.New(rand.NewSource(cfg.Seed)),
+		Duration: cfg.Duration,
+		FPS:      &metrics.FPSTracker{},
+		Lat:      &metrics.LatencyTracker{},
+	}
+	cfg.App.Build(ctx)
+
+	eng.Run(cfg.Duration)
+
+	res := Result{
+		App:       cfg.App.Name,
+		Metric:    cfg.App.Metric,
+		Duration:  cfg.Duration,
+		Cores:     cfg.Cores,
+		Scheduler: cfg.Scheduler,
+
+		TLP:    sampler.TLP(),
+		Matrix: sampler.MatrixPct(),
+
+		AvgPowerMW: sampler.AvgPowerMW(),
+		EnergyMJ:   sampler.EnergyMJ(),
+
+		Interactions: ctx.Lat.N,
+		MeanLatency:  ctx.Lat.Mean(),
+		TotalLatency: ctx.Lat.Total,
+		WorstLatency: ctx.Lat.Max,
+
+		Frames: ctx.FPS.Count(),
+		AvgFPS: ctx.FPS.Avg(cfg.Duration),
+		MinFPS: ctx.FPS.Min(cfg.Duration),
+	}
+	res.Eff = sampler.EffPct()
+	res.TinyActivePct = sampler.TinyActivePct()
+	res.AvgLittleUtil = sampler.AvgUtil(platform.Little)
+	res.AvgBigUtil = sampler.AvgUtil(platform.Big)
+
+	lc := soc.ClusterByType(platform.Little)
+	bc := soc.ClusterByType(platform.Big)
+	res.LittleFreqs = lc.FreqsMHz
+	res.BigFreqs = bc.FreqsMHz
+	res.LittleResidency = sampler.ResidencyPct(platform.Little, lc.FreqsMHz)
+	res.BigResidency = sampler.ResidencyPct(platform.Big, bc.FreqsMHz)
+
+	for _, t := range sys.Tasks() {
+		res.HMPMigrations += t.Migrations
+		res.TotalWorkGc += t.TotalWork / 1e9
+		res.TaskStats = append(res.TaskStats, TaskStat{
+			Name:       t.Name,
+			EnergyJ:    t.EnergyMJ / 1000,
+			LittleMs:   t.LittleRanNs.Milliseconds(),
+			BigMs:      t.BigRanNs.Milliseconds(),
+			TinyMs:     t.TinyRanNs.Milliseconds(),
+			Migrations: t.Migrations,
+		})
+	}
+	sort.Slice(res.TaskStats, func(i, j int) bool {
+		return res.TaskStats[i].EnergyJ > res.TaskStats[j].EnergyJ
+	})
+	half := cfg.Duration / 2
+	res.FPSFirstHalf = float64(ctx.FPS.CountIn(0, half)) / half.Seconds()
+	res.FPSSecondHalf = float64(ctx.FPS.CountIn(half, cfg.Duration)) / (cfg.Duration - half).Seconds()
+	if therm != nil {
+		res.MaxTempC = therm.MaxTempC
+		res.ThrottledPct = therm.ThrottledPct(cfg.Duration)
+	}
+	return res
+}
+
+// Performance returns the app's scalar performance for comparisons: frames
+// per second for FPS apps, and interactions per second (inverse mean
+// latency work rate) for latency apps — higher is better for both.
+func (r Result) Performance() float64 {
+	if r.Metric == apps.FPS {
+		return r.AvgFPS
+	}
+	if r.MeanLatency <= 0 {
+		return 0
+	}
+	return 1.0 / r.MeanLatency.Seconds()
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+)
+
+// short runs one app for a reduced duration suitable for unit tests.
+func short(t *testing.T, app apps.App, mutate func(*Config)) Result {
+	t.Helper()
+	cfg := DefaultConfig(app)
+	cfg.Duration = 8 * event.Second
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return Run(cfg)
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	r := short(t, apps.PDFReader(), nil)
+	if r.App != "pdf_reader" || r.Metric != apps.Latency {
+		t.Fatalf("identity wrong: %s %v", r.App, r.Metric)
+	}
+	if r.Interactions == 0 || r.MeanLatency <= 0 {
+		t.Fatalf("no latency metrics: %d interactions, %v mean", r.Interactions, r.MeanLatency)
+	}
+	if r.AvgPowerMW <= 250 {
+		t.Fatalf("power %f at or below base rail", r.AvgPowerMW)
+	}
+	if r.TLP.TLP <= 1.0 {
+		t.Fatalf("TLP %f, want > 1", r.TLP.TLP)
+	}
+	// Matrix percentages must sum to ~100.
+	sum := 0.0
+	for b := range r.Matrix {
+		for l := range r.Matrix[b] {
+			sum += r.Matrix[b][l]
+		}
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("matrix sums to %f", sum)
+	}
+	// Efficiency states must sum to ~100 as well.
+	esum := 0.0
+	for _, v := range r.Eff {
+		esum += v
+	}
+	if esum < 99.9 || esum > 100.1 {
+		t.Fatalf("efficiency states sum to %f", esum)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := short(t, apps.VideoPlayer(), nil)
+	b := short(t, apps.VideoPlayer(), nil)
+	if a.AvgPowerMW != b.AvgPowerMW || a.Frames != b.Frames || a.TLP != b.TLP {
+		t.Fatalf("same seed produced different results:\n%v\n%v", a, b)
+	}
+	c := short(t, apps.VideoPlayer(), func(cfg *Config) { cfg.Seed = 99 })
+	if a.Frames == c.Frames && a.AvgPowerMW == c.AvgPowerMW {
+		t.Fatal("different seed produced identical results")
+	}
+}
+
+func TestFPSAppReportsFrames(t *testing.T) {
+	r := short(t, apps.VideoPlayer(), nil)
+	if r.Frames == 0 || r.AvgFPS < 20 || r.AvgFPS > 31 {
+		t.Fatalf("video player: frames %d avg %.1f, want ~30fps", r.Frames, r.AvgFPS)
+	}
+	if r.MinFPS > r.AvgFPS+1 {
+		t.Fatalf("min FPS %f above avg %f", r.MinFPS, r.AvgFPS)
+	}
+}
+
+func TestGovernorKinds(t *testing.T) {
+	perf := short(t, apps.VideoPlayer(), func(c *Config) { c.Governor = Performance })
+	save := short(t, apps.VideoPlayer(), func(c *Config) { c.Governor = Powersave })
+	inter := short(t, apps.VideoPlayer(), nil)
+	if perf.AvgPowerMW <= inter.AvgPowerMW {
+		t.Fatalf("performance governor power %f <= interactive %f", perf.AvgPowerMW, inter.AvgPowerMW)
+	}
+	if save.AvgPowerMW > inter.AvgPowerMW {
+		t.Fatalf("powersave governor power %f > interactive %f", save.AvgPowerMW, inter.AvgPowerMW)
+	}
+	user := short(t, apps.VideoPlayer(), func(c *Config) {
+		c.Governor = Userspace
+		c.PinnedMHz = map[int]int{0: 1300, 1: 1900}
+	})
+	if user.AvgPowerMW <= inter.AvgPowerMW {
+		t.Fatal("userspace@max should burn more than interactive")
+	}
+}
+
+func TestCoreConfigRespected(t *testing.T) {
+	r := short(t, apps.BBench(), func(c *Config) { c.Cores = platform.CoreConfig{Little: 2} })
+	if r.TLP.BigPct != 0 {
+		t.Fatalf("big usage %f with no big cores online", r.TLP.BigPct)
+	}
+	if r.Cores.String() != "L2" {
+		t.Fatalf("cores %v", r.Cores)
+	}
+}
+
+func TestResidencySumsTo100(t *testing.T) {
+	r := short(t, apps.EternityWarrior(), nil)
+	sum := 0.0
+	for _, v := range r.LittleResidency {
+		sum += v
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("little residency sums to %f", sum)
+	}
+	if len(r.LittleFreqs) != 9 || len(r.BigFreqs) != 12 {
+		t.Fatalf("frequency table lengths %d/%d", len(r.LittleFreqs), len(r.BigFreqs))
+	}
+}
+
+func TestPerformanceScalar(t *testing.T) {
+	fps := Result{Metric: apps.FPS, AvgFPS: 42}
+	if fps.Performance() != 42 {
+		t.Fatal("FPS performance scalar")
+	}
+	lat := Result{Metric: apps.Latency, MeanLatency: 100 * event.Millisecond}
+	if got := lat.Performance(); got != 10 {
+		t.Fatalf("latency performance %f, want 10/s", got)
+	}
+	if (Result{Metric: apps.Latency}).Performance() != 0 {
+		t.Fatal("zero latency should yield zero performance")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	r := Run(Config{App: apps.VideoPlayer(), Seed: 1, Duration: 2 * event.Second})
+	if r.Cores != platform.Baseline() {
+		t.Fatalf("cores defaulted to %v", r.Cores)
+	}
+}
+
+// Calibration anchors from Table III — banded assertions on the paper's
+// qualitative claims, run on the full 12-app suite at reduced duration.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-app characterization")
+	}
+	results := map[string]Result{}
+	for _, app := range apps.All() {
+		cfg := DefaultConfig(app)
+		cfg.Duration = 12 * event.Second
+		results[app.Name] = Run(cfg)
+	}
+
+	// §V-A: bbench has the highest TLP (~4); every other app stays below ~3.3.
+	bb := results["bbench"].TLP.TLP
+	if bb < 3.0 {
+		t.Errorf("bbench TLP %.2f, want > 3 (paper 3.95)", bb)
+	}
+	for name, r := range results {
+		if name == "bbench" {
+			continue
+		}
+		if r.TLP.TLP >= bb {
+			t.Errorf("%s TLP %.2f >= bbench %.2f", name, r.TLP.TLP, bb)
+		}
+		if r.TLP.TLP > 3.4 {
+			t.Errorf("%s TLP %.2f, paper keeps all non-bbench apps below ~3", name, r.TLP.TLP)
+		}
+	}
+
+	// §V-A: for most apps big cores are unused for the large majority of
+	// active cycles; games/video players essentially never use them.
+	for _, name := range []string{"angry_bird", "video_player", "youtube"} {
+		if g := results[name].TLP.BigPct; g > 2.0 {
+			t.Errorf("%s big usage %.2f%%, paper ~0", name, g)
+		}
+	}
+	// The four big-core consumers the paper calls out.
+	for _, name := range []string{"bbench", "encoder", "virus_scanner", "eternity_warrior"} {
+		if g := results[name].TLP.BigPct; g < 10 {
+			t.Errorf("%s big usage %.2f%%, paper 22-62%%", name, g)
+		}
+	}
+
+	// Browser is the idlest app (paper 53%).
+	if idle := results["browser"].TLP.IdlePct; idle < 35 {
+		t.Errorf("browser idle %.1f%%, paper ~53%%", idle)
+	}
+	// bbench and encoder have near-zero idle.
+	for _, name := range []string{"bbench", "encoder"} {
+		if idle := results[name].TLP.IdlePct; idle > 10 {
+			t.Errorf("%s idle %.1f%%, paper < 1%%", name, idle)
+		}
+	}
+
+	// Table V: min + <50% dominate for the quiet apps.
+	for _, name := range []string{"pdf_reader", "photo_editor", "browser", "youtube"} {
+		eff := results[name].Eff
+		if eff[0]+eff[1] < 55 {
+			t.Errorf("%s min+<50%% = %.1f%%, paper > 60%%", name, eff[0]+eff[1])
+		}
+	}
+	// bbench and encoder show substantial >95% pressure.
+	for _, name := range []string{"bbench", "encoder"} {
+		eff := results[name].Eff
+		if eff[4]+eff[5] < 5 {
+			t.Errorf("%s >95%%+full = %.1f%%, paper shows 20%%+", name, eff[4]+eff[5])
+		}
+	}
+
+	// Table IV structure: when big cores are used at all, one big core
+	// dominates (B1 row >> B2+ rows) for every app.
+	for name, r := range results {
+		b1, bmore := 0.0, 0.0
+		for l := 0; l <= 4; l++ {
+			b1 += r.Matrix[1][l]
+			bmore += r.Matrix[2][l] + r.Matrix[3][l] + r.Matrix[4][l]
+		}
+		if b1+bmore > 5 && b1 < bmore {
+			t.Errorf("%s: B1 row %.1f%% < B2+ rows %.1f%%; paper: a single big core absorbs bursts", name, b1, bmore)
+		}
+	}
+}
+
+// HMP sanity at system level: disabling big cores must not break any app,
+// and the encoder must migrate its worker to a big core in the default
+// configuration.
+func TestSystemLevelHMP(t *testing.T) {
+	enc := short(t, apps.Encoder(), nil)
+	if enc.TLP.BigPct < 20 {
+		t.Fatalf("encoder big usage %.1f%%, want heavy big-core use", enc.TLP.BigPct)
+	}
+	littleOnly := short(t, apps.Encoder(), func(c *Config) { c.Cores = platform.CoreConfig{Little: 4} })
+	if littleOnly.TLP.BigPct != 0 {
+		t.Fatal("big usage with no big cores")
+	}
+	// Encoder throughput must drop without big cores.
+	if littleOnly.Interactions >= enc.Interactions {
+		t.Fatalf("encoder chunks without big cores (%d) >= with (%d)",
+			littleOnly.Interactions, enc.Interactions)
+	}
+}
+
+func TestSchedConfigPropagates(t *testing.T) {
+	// An impossible up-threshold keeps everything on little cores.
+	r := short(t, apps.Encoder(), func(c *Config) {
+		c.Sched = sched.Config{UpThreshold: 2000, DownThreshold: 256, HalfLifeMs: 32, TickMs: 1}
+	})
+	if r.TLP.BigPct != 0 {
+		t.Fatalf("big usage %.2f%% with unreachable up-threshold", r.TLP.BigPct)
+	}
+}

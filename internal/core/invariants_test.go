@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/thermal"
+)
+
+// System-level invariants that must hold for ANY run configuration: energy
+// accounting, metric cross-consistency, and structural sanity of every
+// reported distribution. Configurations are fuzzed from a seeded generator.
+func TestPropertySystemInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzed sweep")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	allApps := apps.All()
+	for iter := 0; iter < 24; iter++ {
+		app := allApps[rng.Intn(len(allApps))]
+		cfg := DefaultConfig(app)
+		cfg.Duration = event.Time(2+rng.Intn(5)) * event.Second
+		cfg.Seed = rng.Int63()
+		cfg.Cores = platform.CoreConfig{
+			Little: 1 + rng.Intn(4),
+			Big:    rng.Intn(5),
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Cores.Tiny = 1 + rng.Intn(2)
+		}
+		cfg.Governor = []GovernorKind{Interactive, Performance, Powersave, Ondemand, Conservative, PAST}[rng.Intn(6)]
+		cfg.Scheduler = []SchedulerKind{HMP, EfficiencyBased, ParallelismAware, EAS}[rng.Intn(4)]
+		if rng.Intn(3) == 0 {
+			cfg.Sched.DeepIdleAfter = 2 * event.Millisecond
+			cfg.Sched.DeepIdleWake = event.Millisecond
+		}
+		r := Run(cfg)
+
+		// Energy accounting: EnergyMJ == AvgPowerMW x sampled time (within
+		// the sampler's last-window truncation).
+		sampled := cfg.Duration.Seconds()
+		if r.AvgPowerMW > 0 {
+			impliedJ := r.AvgPowerMW * sampled / 1000
+			gotJ := r.EnergyMJ / 1000
+			if math.Abs(impliedJ-gotJ)/impliedJ > 0.02 {
+				t.Errorf("iter %d (%s): energy %.2fJ vs implied %.2fJ", iter, r.App, gotJ, impliedJ)
+			}
+		}
+		// Power bounded below by the base rail and above by worst case.
+		if r.AvgPowerMW < 250 || r.AvgPowerMW > 12000 {
+			t.Errorf("iter %d (%s): implausible power %.0f mW", iter, r.App, r.AvgPowerMW)
+		}
+
+		// Matrix consistency: cells sum to 100, idle cell matches IdlePct,
+		// and the TLP recomputed from the matrix matches the report.
+		sum, idle := 0.0, r.Matrix[0][0]
+		weighted, nonIdle := 0.0, 0.0
+		for b := 0; b <= 4; b++ {
+			for l := 0; l <= 4; l++ {
+				v := r.Matrix[b][l]
+				if v < 0 {
+					t.Fatalf("negative matrix cell")
+				}
+				sum += v
+				if b == 0 && l == 0 {
+					continue
+				}
+				weighted += v * float64(b+l)
+				nonIdle += v
+			}
+		}
+		if math.Abs(sum-100) > 0.01 {
+			t.Errorf("iter %d (%s): matrix sums to %.3f", iter, r.App, sum)
+		}
+		if math.Abs(idle-r.TLP.IdlePct) > 0.01 {
+			t.Errorf("iter %d (%s): idle cell %.2f vs IdlePct %.2f", iter, r.App, idle, r.TLP.IdlePct)
+		}
+		if nonIdle > 0 {
+			tlp := weighted / nonIdle
+			if math.Abs(tlp-r.TLP.TLP) > 0.01 {
+				t.Errorf("iter %d (%s): TLP from matrix %.3f vs report %.3f", iter, r.App, tlp, r.TLP.TLP)
+			}
+		}
+		// LittleOnly and Big partitions cover all non-idle samples.
+		if nonIdle > 0 && math.Abs(r.TLP.LittleOnlyPct+r.TLP.BigPct-100) > 0.01 {
+			t.Errorf("iter %d (%s): little-only %.2f + big %.2f != 100",
+				iter, r.App, r.TLP.LittleOnlyPct, r.TLP.BigPct)
+		}
+
+		// No big usage possible without big cores online.
+		if cfg.Cores.Big == 0 && r.TLP.BigPct != 0 {
+			t.Errorf("iter %d (%s): big usage %.2f with no big cores", iter, r.App, r.TLP.BigPct)
+		}
+		// No tiny activity without tiny cores.
+		if cfg.Cores.Tiny == 0 && r.TinyActivePct != 0 {
+			t.Errorf("iter %d (%s): tiny activity without tiny cores", iter, r.App)
+		}
+
+		// Residency distributions are percentages summing to ~100 or all 0.
+		for name, res := range map[string][]float64{"little": r.LittleResidency, "big": r.BigResidency} {
+			s := 0.0
+			for _, v := range res {
+				if v < 0 {
+					t.Fatalf("negative residency")
+				}
+				s += v
+			}
+			if s > 0.01 && math.Abs(s-100) > 0.01 {
+				t.Errorf("iter %d (%s): %s residency sums to %.3f", iter, r.App, name, s)
+			}
+		}
+
+		// FPS halves must bracket the overall average loosely.
+		if r.Metric == apps.FPS && r.Frames > 0 {
+			recomputed := (r.FPSFirstHalf + r.FPSSecondHalf) / 2
+			if math.Abs(recomputed-r.AvgFPS) > 1.0 {
+				t.Errorf("iter %d (%s): halves avg %.2f vs AvgFPS %.2f", iter, r.App, recomputed, r.AvgFPS)
+			}
+		}
+	}
+}
+
+// Determinism holds across every scheduler and governor kind.
+func TestPropertyDeterminismAcrossKinds(t *testing.T) {
+	app, _ := apps.ByName("virus_scanner")
+	for _, sk := range []SchedulerKind{HMP, EfficiencyBased, ParallelismAware, EAS} {
+		for _, gk := range []GovernorKind{Interactive, Ondemand, PAST} {
+			mk := func() Result {
+				cfg := DefaultConfig(app)
+				cfg.Duration = 3 * event.Second
+				cfg.Scheduler = sk
+				cfg.Governor = gk
+				return Run(cfg)
+			}
+			a, b := mk(), mk()
+			if a.AvgPowerMW != b.AvgPowerMW || a.Interactions != b.Interactions ||
+				a.HMPMigrations != b.HMPMigrations || a.TotalWorkGc != b.TotalWorkGc {
+				t.Errorf("scheduler %v governor %v: nondeterministic results", sk, gk)
+			}
+		}
+	}
+}
+
+// The thermal model composes with every other feature without violating the
+// energy accounting.
+func TestThermalComposesWithFeatures(t *testing.T) {
+	app, _ := apps.ByName("encoder")
+	cfg := DefaultConfig(app)
+	cfg.Duration = 5 * event.Second
+	cfg.Sched.DeepIdleAfter = 2 * event.Millisecond
+	cfg.Sched.DeepIdleWake = event.Millisecond
+	cfg.Cores = platform.CoreConfig{Tiny: 2, Little: 4, Big: 4}
+	par := thermal.Default()
+	cfg.Thermal = &par
+	r := Run(cfg)
+	if r.Interactions == 0 {
+		t.Fatal("no work completed with all features enabled")
+	}
+	if r.MaxTempC <= 0 {
+		t.Fatal("thermal model reported no temperature")
+	}
+}

@@ -1,0 +1,178 @@
+// Package event provides the discrete-event simulation substrate used by the
+// biglittle platform simulator: a monotonic simulated clock, a binary-heap
+// event queue with stable FIFO ordering for simultaneous events, and
+// cancellable event handles.
+//
+// All simulated components (scheduler ticks, governor sampling, task
+// completions, workload wakeups, metric samplers) are driven by a single
+// Engine so that every interleaving is deterministic for a given seed.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Milliseconds returns t as a floating-point millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as a floating-point second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fms", t.Milliseconds())
+}
+
+// Handler is a callback invoked when an event fires. The engine passes the
+// firing time, which equals the engine's current time during the call.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence. Events are ordered by time, then by
+// scheduling sequence (FIFO among equal-time events).
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        Handler
+	index     int // heap index; -1 once removed
+	cancelled bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel is safe to call from
+// inside handlers.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+}
+
+// New returns a fresh Engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it indicates a simulator bug, not a recoverable condition.
+func (e *Engine) At(at Time, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn Handler) *Event { return e.At(e.now+d, fn) }
+
+// Stop makes Run return after the currently-firing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending non-cancelled event and returns
+// true, or returns false if no events remain.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events in order until no events remain, the clock would pass
+// until, or Stop is called. Events scheduled exactly at until do fire.
+// On return the clock is advanced to until if the run exhausted the horizon,
+// or to the last fired event otherwise.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped {
+		// Peek for horizon check without popping cancelled noise first.
+		idx := -1
+		for len(e.heap) > 0 {
+			if e.heap[0].cancelled {
+				heap.Pop(&e.heap)
+				continue
+			}
+			idx = 0
+			break
+		}
+		if idx == -1 {
+			break
+		}
+		if e.heap[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.heap).(*Event)
+		e.now = ev.at
+		ev.fn(e.now)
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll fires events until the queue is empty or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}

@@ -1,0 +1,226 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(5, func(now Time) { fired = true })
+	e.Run(10)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func(now Time) { got = append(got, now) })
+	}
+	e.RunAll()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(7, func(Time) { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of FIFO order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := 0
+	ev := e.At(10, func(Time) { fired++ })
+	e.At(5, func(Time) { ev.Cancel() })
+	e.RunAll()
+	if fired != 0 {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Cancelling again must be a no-op.
+	ev.Cancel()
+}
+
+func TestCancelAlreadyFired(t *testing.T) {
+	e := New()
+	var ev *Event
+	ev = e.At(10, func(Time) {})
+	e.RunAll()
+	ev.Cancel() // must not panic
+}
+
+func TestHorizon(t *testing.T) {
+	e := New()
+	fired := make(map[Time]bool)
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		e.At(at, func(now Time) { fired[now] = true })
+	}
+	e.Run(20)
+	if !fired[10] || !fired[20] {
+		t.Fatal("events at or before horizon must fire")
+	}
+	if fired[30] {
+		t.Fatal("event past horizon fired")
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want horizon 20", e.Now())
+	}
+	e.Run(40)
+	if !fired[30] {
+		t.Fatal("remaining event did not fire on later Run")
+	}
+	if e.Now() != 40 {
+		t.Fatalf("Now = %v, want 40", e.Now())
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	e := New()
+	var got []Time
+	e.At(10, func(now Time) {
+		got = append(got, now)
+		e.After(5, func(now Time) { got = append(got, now) })
+	})
+	e.RunAll()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(Time) {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func(Time) {})
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("fired %d events after Stop, want 3", count)
+	}
+}
+
+// Property: for any set of scheduled times, events fire in sorted order and
+// the engine clock is non-decreasing.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var fired []Time
+		last := Time(-1)
+		monotone := true
+		for _, u := range times {
+			at := Time(u)
+			e.At(at, func(now Time) {
+				fired = append(fired, now)
+				if now < last {
+					monotone = false
+				}
+				last = now
+			})
+		}
+		e.RunAll()
+		if !monotone || len(fired) != len(times) {
+			return false
+		}
+		want := make([]Time, len(times))
+		for i, u := range times {
+			want[i] = Time(u)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		e := New()
+		n := 1 + rng.Intn(50)
+		firedCount := 0
+		events := make([]*Event, n)
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			events[i] = e.At(Time(rng.Intn(100)), func(Time) { firedCount++ })
+		}
+		wantFired := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				events[i].Cancel()
+				cancelled[i] = true
+			} else {
+				wantFired++
+			}
+		}
+		e.RunAll()
+		if firedCount != wantFired {
+			t.Fatalf("iter %d: fired %d, want %d", iter, firedCount, wantFired)
+		}
+	}
+}
+
+func BenchmarkEngineChurn(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%100), func(Time) {})
+		if e.Pending() > 1000 {
+			e.Run(e.Now() + 50)
+		}
+	}
+	e.RunAll()
+}

@@ -1,0 +1,118 @@
+package governor
+
+import (
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+)
+
+// loadSampler is the shared skeleton of the load-tracking governors: every
+// sample period it computes each online core's utilization and programs the
+// cluster to the maximum of a per-core policy function's targets.
+type loadSampler struct {
+	sys      *sched.System
+	sample   event.Time
+	lastBusy []event.Time
+	target   func(cl *platform.Cluster, curMHz int, util float64) int
+}
+
+func newLoadSampler(sys *sched.System, sampleMs int,
+	target func(cl *platform.Cluster, curMHz int, util float64) int) *loadSampler {
+	if sampleMs <= 0 {
+		sampleMs = 20
+	}
+	return &loadSampler{
+		sys:      sys,
+		sample:   event.Time(sampleMs) * event.Millisecond,
+		lastBusy: make([]event.Time, len(sys.SoC.Cores)),
+		target:   target,
+	}
+}
+
+// Start schedules the periodic sampling.
+func (g *loadSampler) Start() {
+	g.sys.Eng.After(g.sample, g.onSample)
+}
+
+func (g *loadSampler) onSample(now event.Time) {
+	g.sys.SyncAll(now)
+	for ci := range g.sys.SoC.Clusters {
+		cl := &g.sys.SoC.Clusters[ci]
+		cur := cl.CurMHz
+		best := 0
+		for _, id := range cl.CoreIDs {
+			if !g.sys.SoC.Cores[id].Online {
+				continue
+			}
+			busy := g.sys.BusyNs(id)
+			util := sched.CoreBusyFraction(g.lastBusy[id], busy, g.sample)
+			g.lastBusy[id] = busy
+			if t := g.target(cl, cur, util); t > best {
+				best = t
+			}
+		}
+		if best == 0 {
+			best = cl.MinMHz()
+		}
+		if best != cur {
+			g.sys.SetClusterFreq(ci, best)
+		}
+	}
+	g.sys.Eng.After(g.sample, g.onSample)
+}
+
+// NewOndemand builds the classic Linux ondemand governor: jump straight to
+// the maximum frequency when utilization exceeds upThresholdPct (default
+// 80), otherwise set the lowest frequency that keeps utilization under the
+// threshold. Fast reaction, jumpy power.
+func NewOndemand(sys *sched.System, sampleMs, upThresholdPct int) *loadSampler {
+	if upThresholdPct <= 0 || upThresholdPct > 100 {
+		upThresholdPct = 80
+	}
+	up := float64(upThresholdPct) / 100
+	return newLoadSampler(sys, sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
+		if util > up {
+			return cl.MaxMHz()
+		}
+		// Proportional down-scaling with the same headroom.
+		return int(float64(cur) * util / up)
+	})
+}
+
+// NewConservative builds the Linux conservative governor: frequency moves
+// one 100 MHz table step at a time — up above upPct utilization (default
+// 80), down below downPct (default 35). Smooth power, slow reaction.
+func NewConservative(sys *sched.System, sampleMs, upPct, downPct int) *loadSampler {
+	if upPct <= 0 || upPct > 100 {
+		upPct = 80
+	}
+	if downPct <= 0 || downPct >= upPct {
+		downPct = 35
+	}
+	up, down := float64(upPct)/100, float64(downPct)/100
+	return newLoadSampler(sys, sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
+		switch {
+		case util > up:
+			return cl.ClampMHz(cur + 100)
+		case util < down:
+			if cur-100 < cl.MinMHz() {
+				return cl.MinMHz()
+			}
+			return cur - 100
+		default:
+			return cur
+		}
+	})
+}
+
+// NewPAST builds Weiser et al.'s PAST policy (§IV-D cites it as the
+// precursor of the interactive governor): the next interval is assumed to
+// repeat the previous one, and the speed is set so that the predicted work
+// just fits — i.e. target = current_speed × utilization, with a small
+// headroom so minor increases do not immediately saturate.
+func NewPAST(sys *sched.System, sampleMs int) *loadSampler {
+	const headroom = 0.9 // run the predicted load at 90% utilization
+	return newLoadSampler(sys, sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
+		return int(float64(cur) * util / headroom)
+	})
+}

@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+)
+
+func newRig() (*event.Engine, *sched.System, *Sampler) {
+	eng := event.New()
+	soc := platform.Exynos5422()
+	sys := sched.New(eng, soc, sched.DefaultConfig())
+	sys.Start()
+	m := NewSampler(sys, power.Default())
+	m.Start()
+	return eng, sys, m
+}
+
+func TestIdleSystemAllIdleSamples(t *testing.T) {
+	eng, _, m := newRig()
+	eng.Run(event.Second)
+	if m.Samples != 100 {
+		t.Fatalf("samples %d, want 100 in 1s at 10ms", m.Samples)
+	}
+	if m.Matrix[0][0] != m.Samples {
+		t.Fatalf("idle cell %d, want all %d", m.Matrix[0][0], m.Samples)
+	}
+	r := m.TLP()
+	if r.IdlePct != 100 || r.TLP != 0 {
+		t.Fatalf("idle report %+v", r)
+	}
+	// Power: base + online idle cores only.
+	if m.AvgPowerMW() < 250 || m.AvgPowerMW() > 600 {
+		t.Fatalf("idle power %.0f mW implausible", m.AvgPowerMW())
+	}
+}
+
+func TestBusyCoreCounted(t *testing.T) {
+	eng, sys, m := newRig()
+	task := sys.NewTask("hog", 1)
+	task.Pin(0)
+	sys.Push(task, 1e12)
+	eng.Run(event.Second)
+	r := m.TLP()
+	if r.IdlePct > 1 {
+		t.Fatalf("idle %.1f%% with a pinned hog", r.IdlePct)
+	}
+	if math.Abs(r.TLP-1.0) > 0.05 {
+		t.Fatalf("TLP %.2f, want ~1 for one busy core", r.TLP)
+	}
+	if r.LittleOnlyPct < 99 {
+		t.Fatalf("little-only %.1f%%, hog is pinned to a little core", r.LittleOnlyPct)
+	}
+}
+
+func TestTLPCountsParallelism(t *testing.T) {
+	eng, sys, m := newRig()
+	for i := 0; i < 3; i++ {
+		task := sys.NewTask("hog", 1)
+		task.Pin(i)
+		sys.Push(task, 1e12)
+	}
+	eng.Run(event.Second)
+	if r := m.TLP(); math.Abs(r.TLP-3.0) > 0.1 {
+		t.Fatalf("TLP %.2f, want ~3", r.TLP)
+	}
+}
+
+func TestBigUsageDetected(t *testing.T) {
+	eng, sys, m := newRig()
+	task := sys.NewTask("hog", 1)
+	task.Pin(4) // big core
+	sys.Push(task, 1e12)
+	eng.Run(event.Second)
+	r := m.TLP()
+	if r.BigPct < 99 {
+		t.Fatalf("big usage %.1f%%, hog pinned to big core", r.BigPct)
+	}
+}
+
+func TestEfficiencyClassification(t *testing.T) {
+	soc := platform.Exynos5422()
+	little := soc.ClusterByType(platform.Little)
+	big := soc.ClusterByType(platform.Big)
+
+	cases := []struct {
+		typ  platform.CoreType
+		cl   *platform.Cluster
+		mhz  int
+		util float64
+		want EffState
+	}{
+		{platform.Little, little, 500, 0.3, EffMin},
+		{platform.Little, little, 600, 0.3, EffLt50},
+		{platform.Little, little, 500, 0.6, EffLt70},
+		{platform.Little, little, 1300, 0.8, EffMid},
+		{platform.Little, little, 1300, 0.97, EffGt95},
+		{platform.Big, big, 1900, 1.0, EffFull},
+		{platform.Big, big, 1300, 1.0, EffGt95},
+		{platform.Big, big, 800, 0.3, EffLt50},
+	}
+	for _, c := range cases {
+		c.cl.CurMHz = c.mhz
+		if got := classify(c.typ, c.cl, c.util); got != c.want {
+			t.Errorf("classify(%v, %d MHz, %.2f) = %v, want %v", c.typ, c.mhz, c.util, got, c.want)
+		}
+	}
+}
+
+func TestEffStateStrings(t *testing.T) {
+	want := []string{"Min", "<50%", "<70%", "70-95%", ">95%", "Full"}
+	for i, w := range want {
+		if got := EffState(i).String(); got != w {
+			t.Errorf("EffState(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestResidencyTracksFrequency(t *testing.T) {
+	eng, sys, m := newRig()
+	task := sys.NewTask("hog", 1)
+	task.Pin(0)
+	sys.Push(task, 1e12)
+	sys.SetClusterFreq(0, 700)
+	eng.At(500*event.Millisecond, func(event.Time) { sys.SetClusterFreq(0, 1200) })
+	eng.Run(event.Second)
+	lc := sys.SoC.ClusterByType(platform.Little)
+	pct := m.ResidencyPct(platform.Little, lc.FreqsMHz)
+	at := func(mhz int) float64 {
+		for i, f := range lc.FreqsMHz {
+			if f == mhz {
+				return pct[i]
+			}
+		}
+		return -1
+	}
+	if at(700) < 40 || at(700) > 60 {
+		t.Errorf("700MHz residency %.1f%%, want ~50%%", at(700))
+	}
+	if at(1200) < 40 || at(1200) > 60 {
+		t.Errorf("1200MHz residency %.1f%%, want ~50%%", at(1200))
+	}
+}
+
+func TestFPSTracker(t *testing.T) {
+	var f FPSTracker
+	// 30 frames in first second, 10 in second.
+	for i := 0; i < 30; i++ {
+		f.FrameDone(event.Time(i) * event.Second / 30)
+	}
+	for i := 0; i < 10; i++ {
+		f.FrameDone(event.Second + event.Time(i)*event.Second/10)
+	}
+	if f.Count() != 40 {
+		t.Fatalf("count %d", f.Count())
+	}
+	if avg := f.Avg(2 * event.Second); math.Abs(avg-20) > 0.01 {
+		t.Fatalf("avg %.2f, want 20", avg)
+	}
+	if min := f.Min(2 * event.Second); min != 10 {
+		t.Fatalf("min %.1f, want 10", min)
+	}
+	if got := f.Avg(0); got != 0 {
+		t.Fatalf("Avg(0) = %f", got)
+	}
+	// Sub-second run: Min falls back to Avg.
+	var g FPSTracker
+	g.FrameDone(100 * event.Millisecond)
+	if got := g.Min(500 * event.Millisecond); math.Abs(got-2.0) > 0.01 {
+		t.Fatalf("sub-second Min %.2f, want avg 2.0", got)
+	}
+}
+
+func TestLatencyTracker(t *testing.T) {
+	var l LatencyTracker
+	if l.Mean() != 0 {
+		t.Fatal("empty tracker mean not 0")
+	}
+	l.Record(10 * event.Millisecond)
+	l.Record(30 * event.Millisecond)
+	if l.N != 2 || l.Mean() != 20*event.Millisecond || l.Max != 30*event.Millisecond {
+		t.Fatalf("tracker %+v mean %v", l, l.Mean())
+	}
+	if l.Total != 40*event.Millisecond {
+		t.Fatalf("total %v", l.Total)
+	}
+}
+
+func TestMatrixPctAndEffSum(t *testing.T) {
+	eng, sys, m := newRig()
+	task := sys.NewTask("burst", 1)
+	var gen func(now event.Time)
+	gen = func(now event.Time) {
+		sys.Push(task, 3e5)
+		eng.At(now+7*event.Millisecond, gen)
+	}
+	gen(0)
+	eng.Run(2 * event.Second)
+	sum := 0.0
+	for _, row := range m.MatrixPct() {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	if math.Abs(sum-100) > 0.01 {
+		t.Fatalf("matrix sums to %.3f", sum)
+	}
+	esum := 0.0
+	for _, v := range m.EffPct() {
+		esum += v
+	}
+	if math.Abs(esum-100) > 0.01 {
+		t.Fatalf("eff sums to %.3f", esum)
+	}
+}
+
+func TestEmptySamplerReports(t *testing.T) {
+	_, sys, _ := newRig()
+	m2 := NewSampler(sys, power.Default())
+	if r := m2.TLP(); r.TLP != 0 || r.IdlePct != 0 {
+		t.Fatalf("empty sampler TLP %+v", r)
+	}
+	var zero [6]float64
+	if m2.EffPct() != zero {
+		t.Fatal("empty sampler eff not zero")
+	}
+	if pct := m2.ResidencyPct(platform.Little, []int{500}); pct[0] != 0 {
+		t.Fatal("empty residency not zero")
+	}
+}

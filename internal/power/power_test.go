@@ -1,0 +1,201 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+)
+
+func system1(p Params, t platform.CoreType, mhz int, util float64) float64 {
+	return p.SystemPowerMW([]CoreLoad{{Type: t, MHz: mhz, Util: util}})
+}
+
+// Calibration anchor (§III-A): big@1.3GHz ~2.3x little@1.3GHz system power
+// at full utilization; big@0.8GHz still >= ~1.5x little@1.3GHz.
+func TestPaperPowerRatios(t *testing.T) {
+	p := Default()
+	little13 := system1(p, platform.Little, 1300, 1)
+	big13 := system1(p, platform.Big, 1300, 1)
+	big08 := system1(p, platform.Big, 800, 1)
+
+	if r := big13 / little13; r < 2.0 || r > 2.6 {
+		t.Errorf("big@1.3/little@1.3 = %.2f, want ~2.3", r)
+	}
+	if r := big08 / little13; r < 1.35 || r > 1.7 {
+		t.Errorf("big@0.8/little@1.3 = %.2f, want ~1.5", r)
+	}
+}
+
+// Fig. 6: power grows with utilization, with a much steeper slope at high
+// frequency, and the big and little cores cover distinct power ranges.
+func TestUtilizationSlopes(t *testing.T) {
+	p := Default()
+	for _, tc := range []struct {
+		typ       platform.CoreType
+		low, high int
+	}{
+		{platform.Little, 500, 1300},
+		{platform.Big, 800, 1900},
+	} {
+		slopeLow := system1(p, tc.typ, tc.low, 1.0) - system1(p, tc.typ, tc.low, 0.0)
+		slopeHigh := system1(p, tc.typ, tc.high, 1.0) - system1(p, tc.typ, tc.high, 0.0)
+		if slopeHigh <= slopeLow*1.5 {
+			t.Errorf("%v: high-freq slope %.0f not much steeper than low-freq %.0f",
+				tc.typ, slopeHigh, slopeLow)
+		}
+	}
+	// Distinct ranges: big minimum-frequency full power exceeds little
+	// maximum-frequency full power.
+	if system1(p, platform.Big, 800, 1) <= system1(p, platform.Little, 1300, 1) {
+		t.Error("big and little power ranges overlap completely")
+	}
+}
+
+func TestMonotonicInUtilAndFreq(t *testing.T) {
+	p := Default()
+	for _, typ := range []platform.CoreType{platform.Little, platform.Big} {
+		prev := -1.0
+		for u := 0.0; u <= 1.0; u += 0.1 {
+			got := p.CorePowerMW(typ, 1300, u)
+			if got < prev {
+				t.Fatalf("%v: power not monotone in util at %.1f", typ, u)
+			}
+			prev = got
+		}
+	}
+	prev := -1.0
+	for f := 800; f <= 1900; f += 100 {
+		got := p.CorePowerMW(platform.Big, f, 0.7)
+		if got < prev {
+			t.Fatalf("big power not monotone in frequency at %d", f)
+		}
+		prev = got
+	}
+}
+
+func TestUtilClamping(t *testing.T) {
+	p := Default()
+	if got := p.CorePowerMW(platform.Little, 1000, -0.5); got != p.CorePowerMW(platform.Little, 1000, 0) {
+		t.Error("negative util not clamped")
+	}
+	if got := p.CorePowerMW(platform.Little, 1000, 1.5); got != p.CorePowerMW(platform.Little, 1000, 1) {
+		t.Error("util > 1 not clamped")
+	}
+}
+
+func TestVoltageInterpolation(t *testing.T) {
+	tp := Default().Big
+	if v := tp.Voltage(800); v != tp.VMin {
+		t.Errorf("V(800) = %.3f, want %.3f", v, tp.VMin)
+	}
+	if v := tp.Voltage(1900); v != tp.VMax {
+		t.Errorf("V(1900) = %.3f, want %.3f", v, tp.VMax)
+	}
+	mid := tp.Voltage(1350)
+	if mid <= tp.VMin || mid >= tp.VMax {
+		t.Errorf("V(1350) = %.3f not strictly between endpoints", mid)
+	}
+	if v := tp.Voltage(100); v != tp.VMin {
+		t.Errorf("below-range voltage %.3f, want clamped to VMin", v)
+	}
+	if v := tp.Voltage(5000); v != tp.VMax {
+		t.Errorf("above-range voltage %.3f, want clamped to VMax", v)
+	}
+}
+
+func TestSystemPowerAdds(t *testing.T) {
+	p := Default()
+	base := p.SystemPowerMW(nil)
+	if base != p.BaseMW {
+		t.Fatalf("empty system power %.0f, want base %.0f", base, p.BaseMW)
+	}
+	one := system1(p, platform.Little, 1000, 0.5)
+	two := p.SystemPowerMW([]CoreLoad{
+		{Type: platform.Little, MHz: 1000, Util: 0.5},
+		{Type: platform.Little, MHz: 1000, Util: 0.5},
+	})
+	wantDelta := one - base
+	if math.Abs((two-one)-wantDelta) > 1e-9 {
+		t.Errorf("second core added %.2f, want %.2f", two-one, wantDelta)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Add(event.Second, 1000)   // 1 J
+	m.Add(event.Second/2, 2000) // 1 J
+	if e := m.EnergyMJ(); math.Abs(e-2000) > 1e-6 {
+		t.Fatalf("energy %.3f mJ, want 2000", e)
+	}
+	if avg := m.AvgMW(); math.Abs(avg-2000.0/1.5) > 1e-6 {
+		t.Fatalf("avg %.3f mW, want %.3f", avg, 2000.0/1.5)
+	}
+	if m.Elapsed() != event.Second+event.Second/2 {
+		t.Fatalf("elapsed %v", m.Elapsed())
+	}
+	m.Add(-5, 100) // ignored
+	m.Add(0, 100)  // ignored
+	if m.Elapsed() != event.Second+event.Second/2 {
+		t.Fatal("non-positive intervals must be ignored")
+	}
+}
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.AvgMW() != 0 || m.EnergyMJ() != 0 {
+		t.Fatal("zero meter not zero")
+	}
+}
+
+// Property: system power is base + sum of per-core powers, always >= base,
+// and per-core power is non-negative.
+func TestPropertySystemPower(t *testing.T) {
+	p := Default()
+	f := func(utils []float64, mhzSeeds []uint16) bool {
+		n := len(utils)
+		if len(mhzSeeds) < n {
+			n = len(mhzSeeds)
+		}
+		var loads []CoreLoad
+		sum := p.BaseMW
+		for i := 0; i < n; i++ {
+			typ := platform.Little
+			lo, hi := 500, 1300
+			if i%2 == 1 {
+				typ, lo, hi = platform.Big, 800, 1900
+			}
+			mhz := lo + int(mhzSeeds[i])%(hi-lo+1)
+			cp := p.CorePowerMW(typ, mhz, utils[i])
+			if cp < 0 {
+				return false
+			}
+			sum += cp
+			loads = append(loads, CoreLoad{Type: typ, MHz: mhz, Util: utils[i]})
+		}
+		got := p.SystemPowerMW(loads)
+		return math.Abs(got-sum) < 1e-6 && got >= p.BaseMW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapdragonPowerShape(t *testing.T) {
+	p := Snapdragon810Params()
+	// The A57 cluster is hungrier than the A15 at its top bin...
+	ex := Default()
+	if p.CorePowerMW(platform.Big, 2000, 1) <= ex.CorePowerMW(platform.Big, 1900, 1) {
+		t.Error("SD810 big top bin should exceed the Exynos A15's")
+	}
+	// ...while the A53 little cores are a bit leaner than the A7s.
+	if p.CorePowerMW(platform.Little, 1300, 1) >= ex.CorePowerMW(platform.Little, 1300, 1) {
+		t.Error("A53 should be leaner than A7 at the same frequency")
+	}
+	// Monotone in util as usual.
+	if p.CorePowerMW(platform.Big, 1500, 0.2) >= p.CorePowerMW(platform.Big, 1500, 0.9) {
+		t.Error("not monotone")
+	}
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+)
+
+func newTinySys() (*event.Engine, *System) {
+	eng := event.New()
+	soc := platform.Exynos5422Tiny()
+	s := New(eng, soc, DefaultConfig())
+	s.Start()
+	return eng, s
+}
+
+// A sliver task (tiny burst footprint) migrates down to the tiny tier and
+// stays there.
+func TestSliverSinksToTiny(t *testing.T) {
+	eng, s := newTinySys()
+	task := s.NewTask("sliver", 1)
+	var gen func(now event.Time)
+	gen = func(now event.Time) {
+		s.Push(task, 2e5) // 0.4 ms at 500 MHz
+		eng.At(now+10*event.Millisecond, gen)
+	}
+	gen(0)
+	eng.Run(2 * event.Second)
+	if task.TinyRanNs == 0 {
+		t.Fatalf("sliver never ran on a tiny core (sleepLoad %.0f)", task.sleepLoad)
+	}
+	if task.TinyRanNs < task.LittleRanNs {
+		t.Fatalf("sliver mostly on little (%v tiny vs %v little)", task.TinyRanNs, task.LittleRanNs)
+	}
+}
+
+// A burst-heavy task's footprint is learned after its first burst; from
+// then on it never returns to the tiny tier, even though its instantaneous
+// load decays to zero between bursts.
+func TestBurstyTaskLearnsToAvoidTiny(t *testing.T) {
+	eng, s := newTinySys()
+	task := s.NewTask("burst", 1.8)
+	var gen func(now event.Time)
+	gen = func(now event.Time) {
+		s.Push(task, 15e6) // ~30 ms at 500 MHz: a real interaction stage
+		eng.At(now+500*event.Millisecond, gen)
+	}
+	gen(0)
+	eng.Run(3 * event.Second)
+	// At most the first burst (≈38 ms at tiny speed) may touch tiny cores.
+	if task.TinyRanNs > 45*event.Millisecond {
+		t.Fatalf("bursty task ran %v on tiny cores after footprint learning (little %v)",
+			task.TinyRanNs, task.LittleRanNs)
+	}
+	if task.LittleRanNs < 100*event.Millisecond {
+		t.Fatalf("bursty task barely used little cores (%v)", task.LittleRanNs)
+	}
+}
+
+// The up-migration path works from the tiny tier: a task that becomes
+// CPU-bound climbs tiny -> little -> big.
+func TestClimbFromTinyToBig(t *testing.T) {
+	eng, s := newTinySys()
+	s.SetClusterFreq(0, 1300)
+	task := s.NewTask("growth", 1.5)
+	// Start as a sliver so it settles on tiny.
+	var warm func(now event.Time)
+	warm = func(now event.Time) {
+		if now >= 500*event.Millisecond {
+			s.Push(task, 1e12) // becomes a hog
+			return
+		}
+		s.Push(task, 2e5)
+		eng.At(now+10*event.Millisecond, warm)
+	}
+	warm(0)
+	eng.Run(2 * event.Second)
+	if got := s.SoC.Cores[task.CPU()].Type; got != platform.Big {
+		t.Fatalf("hog on %v after 1.5s (load %d)", got, task.Load())
+	}
+	if task.TinyRanNs == 0 {
+		t.Fatal("task never used the tiny tier during its sliver phase")
+	}
+}
+
+// TinyPerfScale slows execution on tiny cores.
+func TestTinyExecutionRate(t *testing.T) {
+	eng, s := newTinySys()
+	task := s.NewTask("pinned", 1)
+	task.Pin(8) // tiny core at fixed 600 MHz
+	var doneAt event.Time
+	task.OnIdle = func(now event.Time) { doneAt = now }
+	// 600 MHz * 0.65 = 390 Mc/s -> 3.9e5 cycles per ms.
+	s.Push(task, 3.9e5)
+	eng.Run(100 * event.Millisecond)
+	if doneAt == 0 {
+		t.Fatal("pinned tiny task never finished")
+	}
+	want := event.Millisecond
+	if doneAt < want-want/10 || doneAt > want+want/2 {
+		t.Fatalf("tiny execution took %v, want ~1ms", doneAt)
+	}
+}
+
+// On the standard two-cluster platform nothing can reach a tiny core and
+// scheduling behaviour is identical to the pre-extension semantics.
+func TestNoTinyOnStandardPlatform(t *testing.T) {
+	eng := event.New()
+	s := New(eng, platform.Exynos5422(), DefaultConfig())
+	s.Start()
+	task := s.NewTask("sliver", 1)
+	var gen func(now event.Time)
+	gen = func(now event.Time) {
+		s.Push(task, 2e5)
+		eng.At(now+10*event.Millisecond, gen)
+	}
+	gen(0)
+	eng.Run(time500ms)
+	if task.TinyRanNs != 0 {
+		t.Fatal("tiny execution on a platform without tiny cores")
+	}
+	if task.CPU() >= 0 && s.SoC.Cores[task.CPU()].Type == platform.Tiny {
+		t.Fatal("task on tiny core")
+	}
+}
+
+const time500ms = 500 * event.Millisecond
+
+// Down-migration from little to tiny is gated by the burst footprint even
+// when the instantaneous load is below the down-threshold.
+func TestDownMigrationGate(t *testing.T) {
+	eng, s := newTinySys()
+	task := s.NewTask("gated", 1)
+	task.sleepLoad = 500 // established heavy burst footprint
+	task.tracker.Set(100)
+	task.state = Runnable
+	task.cpu, task.lastCPU = 0, 0
+	task.remaining = 1e12
+	s.cpus[0].queue = append(s.cpus[0].queue, task)
+	s.dispatch(s.cpus[0], 0)
+	eng.Run(200 * event.Millisecond)
+	if task.TinyRanNs != 0 {
+		t.Fatal("heavy-footprint task migrated down to tiny")
+	}
+}
+
+func TestDeepIdleAccounting(t *testing.T) {
+	eng := event.New()
+	cfg := DefaultConfig()
+	cfg.DeepIdleAfter = 2 * event.Millisecond
+	cfg.DeepIdleWake = event.Millisecond
+	s := New(eng, platform.Exynos5422(), cfg)
+	s.Start()
+	// Nothing runs: after the residency threshold every core accumulates
+	// deep-idle time.
+	eng.Run(100 * event.Millisecond)
+	s.SyncAll(eng.Now())
+	for id := range s.SoC.Cores {
+		deep := s.DeepIdleNs(id)
+		if deep < 90*event.Millisecond || deep > 99*event.Millisecond {
+			t.Fatalf("core %d deep idle %v of 100ms (threshold 2ms)", id, deep)
+		}
+	}
+}
+
+func TestDeepIdleWakePenalty(t *testing.T) {
+	run := func(deep bool) event.Time {
+		eng := event.New()
+		cfg := DefaultConfig()
+		if deep {
+			cfg.DeepIdleAfter = 2 * event.Millisecond
+			cfg.DeepIdleWake = event.Millisecond
+		}
+		s := New(eng, platform.Exynos5422(), cfg)
+		s.Start()
+		task := s.NewTask("t", 1)
+		task.Pin(0)
+		var doneAt event.Time
+		task.OnIdle = func(now event.Time) { doneAt = now }
+		// Wake after a long idle period: 5e5 cycles = 1ms at 500 MHz.
+		eng.At(50*event.Millisecond, func(event.Time) { s.Push(task, 5e5) })
+		eng.Run(100 * event.Millisecond)
+		return doneAt
+	}
+	base := run(false)
+	slow := run(true)
+	penalty := slow - base
+	if penalty < event.Millisecond*9/10 || penalty > event.Millisecond*3/2 {
+		t.Fatalf("wake penalty %v, want ~1ms", penalty)
+	}
+}
+
+func TestNoDeepIdleWhenDisabled(t *testing.T) {
+	eng, s := newTinySys() // default config: deep idle off
+	eng.Run(100 * event.Millisecond)
+	s.SyncAll(eng.Now())
+	for id := range s.SoC.Cores {
+		if s.DeepIdleNs(id) != 0 {
+			t.Fatalf("deep idle accumulated with the feature disabled")
+		}
+	}
+}
+
+func TestWakingStateExcludedFromMigration(t *testing.T) {
+	eng := event.New()
+	cfg := DefaultConfig()
+	cfg.DeepIdleAfter = 2 * event.Millisecond
+	cfg.DeepIdleWake = 5 * event.Millisecond
+	s := New(eng, platform.Exynos5422(), cfg)
+	s.Start()
+	task := s.NewTask("t", 1)
+	eng.At(50*event.Millisecond, func(event.Time) { s.Push(task, 1e6) })
+	// Run through several ticks while the task is in Waking state; the
+	// migration/balancing paths must not touch it (no panic) and it must
+	// eventually run.
+	var doneAt event.Time
+	task.OnIdle = func(now event.Time) { doneAt = now }
+	eng.Run(200 * event.Millisecond)
+	if doneAt == 0 {
+		t.Fatal("task stuck in waking state")
+	}
+	if Waking.String() != "waking" {
+		t.Fatal("state string")
+	}
+}

@@ -1,0 +1,206 @@
+// Package session runs multi-app usage scenarios — a sequence of
+// application phases (browse, watch, play, ...) inside one continuous
+// simulation, with per-phase performance, power, and battery accounting.
+// The paper characterizes apps in isolation; sessions show how the
+// asymmetric platform behaves across a realistic stretch of device use,
+// including the governor and load-tracker state carried across app
+// switches.
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"text/tabwriter"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/battery"
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/metrics"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+	"biglittle/internal/workload"
+)
+
+// Phase is one segment of a session.
+type Phase struct {
+	App      apps.App
+	Duration event.Time
+}
+
+// Config describes a session run.
+type Config struct {
+	Phases []Phase
+	Seed   int64
+	Cores  platform.CoreConfig
+	Sched  sched.Config
+	Gov    governor.InteractiveConfig
+	Power  power.Params
+	Pack   battery.Pack
+}
+
+// DefaultConfig returns a session on the paper's baseline platform with the
+// Galaxy S5 battery.
+func DefaultConfig(phases ...Phase) Config {
+	return Config{
+		Phases: phases,
+		Seed:   1,
+		Cores:  platform.Baseline(),
+		Sched:  sched.DefaultConfig(),
+		Gov:    governor.DefaultInteractive(),
+		Power:  power.Default(),
+		Pack:   battery.GalaxyS5(),
+	}
+}
+
+// PhaseResult holds one phase's metrics.
+type PhaseResult struct {
+	App          string
+	Duration     event.Time
+	AvgPowerMW   float64
+	EnergyJ      float64
+	DrainPct     float64
+	AvgFPS       float64
+	Interactions int
+	MeanLatency  event.Time
+	BigPct       float64
+}
+
+// Result summarizes a session.
+type Result struct {
+	Phases        []PhaseResult
+	Duration      event.Time
+	TotalEnergyJ  float64
+	TotalDrainPct float64
+	AvgPowerMW    float64
+}
+
+// Run executes the session. Phases run back to back on one platform: the
+// governor's frequencies and each surviving thread's load history persist
+// across switches, as on a real device.
+func Run(cfg Config) Result {
+	if len(cfg.Phases) == 0 {
+		return Result{}
+	}
+	eng := event.New()
+	soc := platform.Exynos5422()
+	if cfg.Cores.Tiny > 0 {
+		soc = platform.Exynos5422Tiny()
+	}
+	if cfg.Cores == (platform.CoreConfig{}) {
+		cfg.Cores = platform.Baseline()
+	}
+	if err := cfg.Cores.Apply(soc); err != nil {
+		panic(err)
+	}
+	if cfg.Sched == (sched.Config{}) {
+		cfg.Sched = sched.DefaultConfig()
+	}
+	if cfg.Power == (power.Params{}) {
+		cfg.Power = power.Default()
+	}
+	if cfg.Pack == (battery.Pack{}) {
+		cfg.Pack = battery.GalaxyS5()
+	}
+	sys := sched.New(eng, soc, cfg.Sched)
+	sys.Start()
+	governor.NewInteractive(sys, cfg.Gov).Start()
+	sampler := metrics.NewSampler(sys, cfg.Power)
+	sampler.Start()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var res Result
+	phaseStart := event.Time(0)
+	prevEnergy := 0.0
+	prevBig, prevActive := 0, 0
+	for _, ph := range cfg.Phases {
+		phaseEnd := phaseStart + ph.Duration
+		ctx := &workload.Ctx{
+			Eng:      eng,
+			Sys:      sys,
+			Rng:      rng,
+			Duration: phaseEnd,
+			FPS:      &metrics.FPSTracker{},
+			Lat:      &metrics.LatencyTracker{},
+		}
+		ph.App.Build(ctx)
+		eng.Run(phaseEnd)
+
+		energy := sampler.EnergyMJ()
+		dE := (energy - prevEnergy) / 1000
+		prevEnergy = energy
+
+		// Per-phase big-core share from the matrix deltas.
+		big, active := 0, 0
+		for b := 0; b <= 4; b++ {
+			for l := 0; l <= 4; l++ {
+				n := sampler.Matrix[b][l]
+				if b == 0 && l == 0 {
+					continue
+				}
+				active += n
+				if b > 0 {
+					big += n
+				}
+			}
+		}
+		bigPct := 0.0
+		if active > prevActive {
+			bigPct = 100 * float64(big-prevBig) / float64(active-prevActive)
+		}
+		prevBig, prevActive = big, active
+
+		pr := PhaseResult{
+			App:          ph.App.Name,
+			Duration:     ph.Duration,
+			AvgPowerMW:   dE * 1000 / ph.Duration.Seconds(),
+			EnergyJ:      dE,
+			DrainPct:     cfg.Pack.DrainPct(dE * 1000),
+			AvgFPS:       ctx.FPS.Avg(ph.Duration),
+			Interactions: ctx.Lat.N,
+			MeanLatency:  ctx.Lat.Mean(),
+			BigPct:       bigPct,
+		}
+		res.Phases = append(res.Phases, pr)
+		res.TotalEnergyJ += dE
+		res.Duration += ph.Duration
+		phaseStart = phaseEnd
+	}
+	res.TotalDrainPct = cfg.Pack.DrainPct(res.TotalEnergyJ * 1000)
+	if res.Duration > 0 {
+		res.AvgPowerMW = res.TotalEnergyJ * 1000 / res.Duration.Seconds()
+	}
+	return res
+}
+
+// Render formats a session result.
+func Render(r Result) string {
+	out := ""
+	w := newTable(&out)
+	fmt.Fprintln(w, "Session: per-phase power, performance, and battery drain")
+	fmt.Fprintln(w, "phase\tduration\tavg mW\tenergy J\tdrain %\tbig %\tperf")
+	for _, p := range r.Phases {
+		perf := fmt.Sprintf("%.1f fps", p.AvgFPS)
+		if p.Interactions > 0 {
+			perf = fmt.Sprintf("%v x%d", p.MeanLatency, p.Interactions)
+		}
+		fmt.Fprintf(w, "%s\t%v\t%.0f\t%.1f\t%.2f\t%.1f\t%s\n",
+			p.App, p.Duration, p.AvgPowerMW, p.EnergyJ, p.DrainPct, p.BigPct, perf)
+	}
+	fmt.Fprintf(w, "total\t%v\t%.0f\t%.1f\t%.2f\t\t\n",
+		r.Duration, r.AvgPowerMW, r.TotalEnergyJ, r.TotalDrainPct)
+	w.Flush()
+	return out
+}
+
+func newTable(out *string) *tabwriter.Writer {
+	return tabwriter.NewWriter(&stringWriter{out}, 2, 4, 2, ' ', 0)
+}
+
+type stringWriter struct{ s *string }
+
+func (w *stringWriter) Write(p []byte) (int, error) {
+	*w.s += string(p)
+	return len(p), nil
+}

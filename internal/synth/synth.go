@@ -1,0 +1,278 @@
+// Package synth generates deterministic synthetic instruction and memory
+// address streams standing in for the SPECCPU2006 binaries the paper runs in
+// §III-A. A Profile captures the microarchitecturally relevant behaviour of
+// one workload — instruction mix, exploitable ILP, branch predictability,
+// memory-level parallelism, and data/code footprints with a hot/cold access
+// skew — and Stream expands it into a reproducible per-instruction trace.
+//
+// The same profile always yields the identical trace regardless of which
+// core model consumes it, so big-vs-little comparisons see the same work.
+package synth
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Kind classifies one synthetic instruction.
+type Kind uint8
+
+const (
+	ALU Kind = iota
+	Load
+	Store
+	Branch
+)
+
+// Instr is one element of a synthetic trace.
+type Instr struct {
+	Kind Kind
+	// Addr is the data address for Load/Store, undefined otherwise.
+	Addr uint64
+	// Mispredicted marks a Branch that the (modeled) predictor missed.
+	Mispredicted bool
+	// Taken marks a Branch that redirects instruction fetch.
+	Taken bool
+	// Target is the fetch redirect address for taken branches.
+	Target uint64
+}
+
+// Profile describes a SPEC-like workload statistically.
+type Profile struct {
+	Name string
+
+	// Instruction mix; the ALU fraction is the remainder.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+
+	// ILP is the mean number of independent instructions available per
+	// cycle; it caps superscalar issue on wide cores.
+	ILP float64
+
+	// MLP is the number of overlappable outstanding misses the workload
+	// exposes; out-of-order cores exploit min(MLP, core window).
+	MLP float64
+
+	// MispredictRate is the fraction of branches mispredicted.
+	MispredictRate float64
+	// TakenRate is the fraction of branches taken (fetch redirects).
+	TakenRate float64
+	// FarJumpFrac is the fraction of taken branches that jump to a uniform
+	// random spot in the code footprint; the rest land within ±512 B of the
+	// current fetch address (loops and nearby calls dominate real code).
+	FarJumpFrac float64
+
+	// WorkingSetB is the total data footprint in bytes.
+	WorkingSetB uint64
+	// HotSetB is a small frequently-reused region; HotFrac of accesses go
+	// there (captures the 90/10 locality of real programs).
+	HotSetB uint64
+	HotFrac float64
+	// StreamFrac of the non-hot accesses walk sequentially (unit-stride)
+	// through the working set; the rest are uniform random lines.
+	StreamFrac float64
+
+	// CodeFootprintB is the instruction footprint walked by fetch.
+	CodeFootprintB uint64
+
+	// Instructions is the trace length used for full experiment runs.
+	Instructions int
+}
+
+// dataBase separates code and data address spaces so they do not alias.
+const dataBase = 1 << 32
+
+// Stream is a deterministic generator of the profile's instruction trace.
+type Stream struct {
+	p         Profile
+	rng       *rand.Rand
+	pc        uint64
+	loopBase  uint64
+	streamPtr uint64
+	emitted   int
+}
+
+// NewStream returns a generator seeded purely by the profile name, so two
+// streams for the same profile produce identical traces.
+func NewStream(p Profile) *Stream {
+	h := fnv.New64a()
+	h.Write([]byte(p.Name))
+	return &Stream{
+		p:   p,
+		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
+}
+
+// Profile returns the stream's profile.
+func (s *Stream) Profile() Profile { return s.p }
+
+// Emitted returns the number of instructions generated so far.
+func (s *Stream) Emitted() int { return s.emitted }
+
+// PC returns the current fetch address (for instruction-cache modeling).
+func (s *Stream) PC() uint64 { return s.pc }
+
+// Next produces the next instruction in the trace.
+func (s *Stream) Next() Instr {
+	s.emitted++
+	var in Instr
+	r := s.rng.Float64()
+	switch {
+	case r < s.p.LoadFrac:
+		in.Kind = Load
+		in.Addr = s.dataAddr()
+	case r < s.p.LoadFrac+s.p.StoreFrac:
+		in.Kind = Store
+		in.Addr = s.dataAddr()
+	case r < s.p.LoadFrac+s.p.StoreFrac+s.p.BranchFrac:
+		in.Kind = Branch
+		in.Mispredicted = s.rng.Float64() < s.p.MispredictRate
+		in.Taken = s.rng.Float64() < s.p.TakenRate
+		if in.Taken && s.p.CodeFootprintB > 0 {
+			if s.rng.Float64() < s.p.FarJumpFrac {
+				// Cold jump: relocate to a fresh region of the footprint
+				// (a call into rarely-used code); the loop base moves too.
+				in.Target = uint64(s.rng.Int63n(int64(s.p.CodeFootprintB))) &^ 3
+				s.loopBase = in.Target
+			} else {
+				// Loop back-edge: return near the current loop base, which
+				// the fetch stream has been re-executing — reproducing the
+				// instruction-cache locality of loop-dominated code.
+				t := s.loopBase + uint64(s.rng.Int63n(64))&^3
+				if t >= s.p.CodeFootprintB {
+					t = s.loopBase
+				}
+				in.Target = t
+			}
+		}
+	default:
+		in.Kind = ALU
+	}
+	// Advance fetch: sequential, redirected by taken branches.
+	if in.Kind == Branch && in.Taken {
+		s.pc = in.Target
+	} else {
+		s.pc += 4
+		if s.p.CodeFootprintB > 0 && s.pc >= s.p.CodeFootprintB {
+			s.pc = 0
+		}
+	}
+	return in
+}
+
+func (s *Stream) dataAddr() uint64 {
+	if s.p.HotSetB > 0 && s.rng.Float64() < s.p.HotFrac {
+		return dataBase + uint64(s.rng.Int63n(int64(s.p.HotSetB)))&^7
+	}
+	if s.rng.Float64() < s.p.StreamFrac {
+		s.streamPtr += 8
+		if s.streamPtr >= s.p.WorkingSetB {
+			s.streamPtr = 0
+		}
+		return dataBase + s.p.HotSetB + s.streamPtr
+	}
+	span := int64(s.p.WorkingSetB)
+	if span <= 0 {
+		span = 64
+	}
+	return dataBase + s.p.HotSetB + uint64(s.rng.Int63n(span))&^7
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+)
+
+// SPEC returns the 12 SPEC-like profiles used for Figures 2 and 3. Footprints
+// and mixes are chosen so that cache-insensitive, compute-dense workloads
+// (hmmer, h264ref) sit near the low end of the big-core speedup range and
+// workloads whose working sets fit the big cluster's 2 MB L2 but overflow the
+// little cluster's 512 KB L2 (mcf, omnetpp, xalancbmk, astar) sit near the
+// 4.5x top end, matching the paper's Figure 2 spread.
+func SPEC() []Profile {
+	return []Profile{
+		{
+			Name: "perlbench", LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.21,
+			ILP: 2.0, MLP: 1.6, MispredictRate: 0.05, TakenRate: 0.6, FarJumpFrac: 0.025,
+			WorkingSetB: 640 * kb, HotSetB: 20 * kb, HotFrac: 0.80, StreamFrac: 0.2,
+			CodeFootprintB: 160 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "bzip2", LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.15,
+			ILP: 1.9, MLP: 1.8, MispredictRate: 0.06, TakenRate: 0.55, FarJumpFrac: 0.01,
+			WorkingSetB: 300 * kb, HotSetB: 20 * kb, HotFrac: 0.80, StreamFrac: 0.35,
+			CodeFootprintB: 24 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "gcc", LoadFrac: 0.27, StoreFrac: 0.13, BranchFrac: 0.20,
+			ILP: 2.1, MLP: 2.0, MispredictRate: 0.04, TakenRate: 0.6, FarJumpFrac: 0.03,
+			WorkingSetB: 900 * kb, HotSetB: 20 * kb, HotFrac: 0.82, StreamFrac: 0.25,
+			CodeFootprintB: 256 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "mcf", LoadFrac: 0.35, StoreFrac: 0.09, BranchFrac: 0.19,
+			ILP: 1.6, MLP: 3.5, MispredictRate: 0.05, TakenRate: 0.55, FarJumpFrac: 0.01,
+			WorkingSetB: 1600 * kb, HotSetB: 16 * kb, HotFrac: 0.65, StreamFrac: 0.05,
+			CodeFootprintB: 16 * kb, Instructions: 300_000,
+		},
+		{
+			Name: "gobmk", LoadFrac: 0.25, StoreFrac: 0.13, BranchFrac: 0.21,
+			ILP: 1.7, MLP: 1.3, MispredictRate: 0.10, TakenRate: 0.6, FarJumpFrac: 0.03,
+			WorkingSetB: 180 * kb, HotSetB: 20 * kb, HotFrac: 0.85, StreamFrac: 0.2,
+			CodeFootprintB: 512 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "hmmer", LoadFrac: 0.30, StoreFrac: 0.14, BranchFrac: 0.08,
+			ILP: 3.4, MLP: 2.0, MispredictRate: 0.015, TakenRate: 0.5, FarJumpFrac: 0.005,
+			WorkingSetB: 48 * kb, HotSetB: 20 * kb, HotFrac: 0.9, StreamFrac: 0.5,
+			CodeFootprintB: 16 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "sjeng", LoadFrac: 0.22, StoreFrac: 0.09, BranchFrac: 0.21,
+			ILP: 1.8, MLP: 1.3, MispredictRate: 0.09, TakenRate: 0.6, FarJumpFrac: 0.02,
+			WorkingSetB: 170 * kb, HotSetB: 20 * kb, HotFrac: 0.85, StreamFrac: 0.15,
+			CodeFootprintB: 64 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "libquantum", LoadFrac: 0.26, StoreFrac: 0.08, BranchFrac: 0.25,
+			ILP: 2.6, MLP: 4.0, MispredictRate: 0.01, TakenRate: 0.7, FarJumpFrac: 0.005,
+			WorkingSetB: 16 * mb, HotSetB: 4 * kb, HotFrac: 0.1, StreamFrac: 0.98,
+			CodeFootprintB: 8 * kb, Instructions: 300_000,
+		},
+		{
+			Name: "h264ref", LoadFrac: 0.35, StoreFrac: 0.12, BranchFrac: 0.08,
+			ILP: 3.1, MLP: 2.2, MispredictRate: 0.02, TakenRate: 0.5, FarJumpFrac: 0.01,
+			WorkingSetB: 280 * kb, HotSetB: 20 * kb, HotFrac: 0.85, StreamFrac: 0.6,
+			CodeFootprintB: 96 * kb, Instructions: 400_000,
+		},
+		{
+			Name: "omnetpp", LoadFrac: 0.34, StoreFrac: 0.18, BranchFrac: 0.21,
+			ILP: 1.7, MLP: 2.8, MispredictRate: 0.04, TakenRate: 0.6, FarJumpFrac: 0.025,
+			WorkingSetB: 1100 * kb, HotSetB: 16 * kb, HotFrac: 0.78, StreamFrac: 0.1,
+			CodeFootprintB: 128 * kb, Instructions: 300_000,
+		},
+		{
+			Name: "astar", LoadFrac: 0.31, StoreFrac: 0.09, BranchFrac: 0.17,
+			ILP: 1.8, MLP: 2.4, MispredictRate: 0.06, TakenRate: 0.55, FarJumpFrac: 0.01,
+			WorkingSetB: 800 * kb, HotSetB: 16 * kb, HotFrac: 0.80, StreamFrac: 0.1,
+			CodeFootprintB: 16 * kb, Instructions: 300_000,
+		},
+		{
+			Name: "xalancbmk", LoadFrac: 0.32, StoreFrac: 0.11, BranchFrac: 0.25,
+			ILP: 1.9, MLP: 2.6, MispredictRate: 0.035, TakenRate: 0.65, FarJumpFrac: 0.03,
+			WorkingSetB: 1000 * kb, HotSetB: 16 * kb, HotFrac: 0.80, StreamFrac: 0.15,
+			CodeFootprintB: 320 * kb, Instructions: 300_000,
+		},
+	}
+}
+
+// ProfileByName returns the SPEC profile with the given name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range SPEC() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

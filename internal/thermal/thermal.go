@@ -1,0 +1,192 @@
+// Package thermal models per-cluster die temperature with a first-order RC
+// model driven by the power model, and a throttling governor that caps a
+// cluster's frequency when it trips — the mechanism behind the sustained-
+// performance drop every passively-cooled phone exhibits. The Exynos 5422
+// in the paper's Galaxy S5 throttles its A15 cluster aggressively under
+// sustained gaming load; the paper's 30-second runs largely avoid it, and
+// this package quantifies what longer runs would have seen.
+package thermal
+
+import (
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+)
+
+// Params configures the thermal model.
+type Params struct {
+	// AmbientC is the ambient (and initial die) temperature.
+	AmbientC float64
+	// ResistanceCPerW converts cluster power to steady-state temperature
+	// rise above ambient.
+	ResistanceCPerW float64
+	// TimeConstant is the RC time constant of the die+package.
+	TimeConstant event.Time
+	// TripC engages throttling; ClearC disengages it.
+	TripC  float64
+	ClearC float64
+	// CriticalC hotplugs big cores offline one per sample until the
+	// temperature recovers (0 disables).
+	CriticalC float64
+	// SampleMs is the polling period of the thermal governor.
+	SampleMs int
+}
+
+// Default returns parameters tuned so a fully-loaded big cluster at maximum
+// frequency trips in roughly 10-15 seconds — the behaviour reported for
+// Exynos 5422 devices under sustained load.
+func Default() Params {
+	return Params{
+		AmbientC:        28,
+		ResistanceCPerW: 20,
+		TimeConstant:    6 * event.Second,
+		TripC:           68,
+		ClearC:          60,
+		CriticalC:       85,
+		SampleMs:        50,
+	}
+}
+
+// Model tracks per-cluster temperature and applies throttling.
+type Model struct {
+	Par Params
+
+	sys      *sched.System
+	pw       power.Params
+	sample   event.Time
+	lastBusy []event.Time
+	lastDeep []event.Time
+
+	// TempC holds current per-cluster temperatures.
+	TempC []float64
+	// MaxTempC records the hottest any cluster got.
+	MaxTempC float64
+	// ThrottledNs accumulates time with any cluster capped below max.
+	ThrottledNs event.Time
+	// Events counts cap adjustments.
+	Events int
+	// HotplugEvents counts emergency core offline/online transitions.
+	HotplugEvents int
+}
+
+// Attach installs a thermal model on sys; call Start to begin sampling.
+func Attach(sys *sched.System, pw power.Params, par Params) *Model {
+	if par.SampleMs <= 0 {
+		par.SampleMs = 50
+	}
+	m := &Model{
+		Par:      par,
+		sys:      sys,
+		pw:       pw,
+		sample:   event.Time(par.SampleMs) * event.Millisecond,
+		lastBusy: make([]event.Time, len(sys.SoC.Cores)),
+		lastDeep: make([]event.Time, len(sys.SoC.Cores)),
+		TempC:    make([]float64, len(sys.SoC.Clusters)),
+	}
+	for i := range m.TempC {
+		m.TempC[i] = par.AmbientC
+	}
+	m.MaxTempC = par.AmbientC
+	return m
+}
+
+// Start schedules the periodic thermal sampling.
+func (m *Model) Start() {
+	m.sys.Eng.After(m.sample, m.onSample)
+}
+
+func (m *Model) onSample(now event.Time) {
+	m.sys.SyncAll(now)
+	soc := m.sys.SoC
+	dt := m.sample.Seconds()
+	alpha := dt / m.Par.TimeConstant.Seconds()
+	if alpha > 1 {
+		alpha = 1
+	}
+
+	throttledNow := false
+	for ci := range soc.Clusters {
+		cl := &soc.Clusters[ci]
+		// Cluster power from per-core utilization over the last sample.
+		var watts float64
+		for _, id := range cl.CoreIDs {
+			if !soc.Cores[id].Online {
+				continue
+			}
+			busy := m.sys.BusyNs(id)
+			util := sched.CoreBusyFraction(m.lastBusy[id], busy, m.sample)
+			m.lastBusy[id] = busy
+			deep := m.sys.DeepIdleNs(id)
+			deepFrac := sched.CoreBusyFraction(m.lastDeep[id], deep, m.sample)
+			m.lastDeep[id] = deep
+			watts += m.pw.CorePowerDeepMW(cl.Type, cl.CurMHz, util, deepFrac) / 1000
+		}
+		target := m.Par.AmbientC + watts*m.Par.ResistanceCPerW
+		m.TempC[ci] += alpha * (target - m.TempC[ci])
+		if m.TempC[ci] > m.MaxTempC {
+			m.MaxTempC = m.TempC[ci]
+		}
+
+		// Throttling governor: step the cap down two table entries past the
+		// trip point, release one entry at a time once cooled.
+		switch {
+		case m.TempC[ci] > m.Par.TripC:
+			cur := cl.CapMHz
+			if cur == 0 {
+				cur = cl.MaxMHz()
+			}
+			newCap := cl.ClampDownMHz(cur - 200)
+			if newCap != cur {
+				cl.CapMHz = newCap
+				m.sys.SetClusterFreq(ci, cl.CurMHz) // re-clamp under the new cap
+				m.Events++
+			}
+		case m.TempC[ci] < m.Par.ClearC && cl.CapMHz > 0:
+			newCap := cl.CapMHz + 100
+			if newCap >= cl.MaxMHz() {
+				cl.CapMHz = 0 // fully released
+			} else {
+				cl.CapMHz = newCap
+			}
+			m.Events++
+		}
+		if cl.CapMHz > 0 && cl.CapMHz < cl.MaxMHz() {
+			throttledNow = true
+		}
+
+		// Emergency hotplug for the big cluster: shed one core per sample
+		// above the critical temperature, restore one once fully cooled.
+		if m.Par.CriticalC > 0 && cl.Type == platform.Big {
+			online := soc.OnlineCores(platform.Big)
+			switch {
+			case m.TempC[ci] > m.Par.CriticalC && len(online) > 0:
+				if err := m.sys.SetCoreOnline(online[len(online)-1], false); err == nil {
+					m.HotplugEvents++
+				}
+			case m.TempC[ci] < m.Par.ClearC && len(online) < len(cl.CoreIDs):
+				for _, id := range cl.CoreIDs {
+					if !soc.Cores[id].Online {
+						if err := m.sys.SetCoreOnline(id, true); err == nil {
+							m.HotplugEvents++
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	if throttledNow {
+		m.ThrottledNs += m.sample
+	}
+	m.sys.Eng.After(m.sample, m.onSample)
+}
+
+// ThrottledPct returns the share of elapsed time with a throttle cap
+// engaged.
+func (m *Model) ThrottledPct(elapsed event.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(m.ThrottledNs) / float64(elapsed)
+}

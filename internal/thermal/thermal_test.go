@@ -1,0 +1,117 @@
+package thermal
+
+import (
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+)
+
+func rig() (*event.Engine, *sched.System) {
+	eng := event.New()
+	sys := sched.New(eng, platform.Exynos5422(), sched.DefaultConfig())
+	sys.Start()
+	governor.NewInteractive(sys, governor.DefaultInteractive()).Start()
+	return eng, sys
+}
+
+func stress(sys *sched.System, n int) {
+	for i := 0; i < n; i++ {
+		t := sys.NewTask("hog", 2.0)
+		sys.Push(t, 1e15)
+	}
+}
+
+func TestIdleStaysAmbient(t *testing.T) {
+	eng, sys := rig()
+	m := Attach(sys, power.Default(), Default())
+	m.Start()
+	eng.Run(10 * event.Second)
+	for ci, temp := range m.TempC {
+		if temp > m.Par.AmbientC+3 {
+			t.Fatalf("cluster %d at %.1fC while idle", ci, temp)
+		}
+	}
+	if m.ThrottledNs != 0 {
+		t.Fatal("throttled while idle")
+	}
+}
+
+func TestSustainedLoadTripsAndCaps(t *testing.T) {
+	eng, sys := rig()
+	m := Attach(sys, power.Default(), Default())
+	m.Start()
+	stress(sys, 4)
+	eng.Run(40 * event.Second)
+
+	if m.MaxTempC <= m.Par.TripC {
+		t.Fatalf("max temp %.1fC never tripped (trip %.1fC)", m.MaxTempC, m.Par.TripC)
+	}
+	if m.ThrottledNs == 0 {
+		t.Fatal("no throttling recorded under 4-thread stress")
+	}
+	// The critical hotplug must bound the temperature near CriticalC.
+	if m.MaxTempC > m.Par.CriticalC+5 {
+		t.Fatalf("max temp %.1fC far above critical %.1fC", m.MaxTempC, m.Par.CriticalC)
+	}
+	bc := sys.SoC.ClusterByType(platform.Big)
+	if bc.CapMHz == 0 && sys.SoC.OnlineCount(platform.Big) == 4 {
+		t.Fatal("neither frequency cap nor hotplug engaged at the end of a stress run")
+	}
+}
+
+func TestCoolDownReleasesCap(t *testing.T) {
+	eng, sys := rig()
+	par := Default()
+	m := Attach(sys, power.Default(), par)
+	m.Start()
+	// Burst of stress that ends, then a long cool-down.
+	for i := 0; i < 4; i++ {
+		task := sys.NewTask("hog", 2.0)
+		sys.Push(task, 5e10) // ~15s of big-core work in aggregate
+	}
+	eng.Run(60 * event.Second)
+	bc := sys.SoC.ClusterByType(platform.Big)
+	if bc.CapMHz != 0 {
+		t.Fatalf("cap %d MHz still engaged after cool-down (temp %.1fC)", bc.CapMHz, m.TempC[bc.ID])
+	}
+	if sys.SoC.OnlineCount(platform.Big) != 4 {
+		t.Fatalf("only %d big cores back online after cool-down", sys.SoC.OnlineCount(platform.Big))
+	}
+}
+
+func TestThrottledPct(t *testing.T) {
+	m := &Model{}
+	m.ThrottledNs = 3 * event.Second
+	if got := m.ThrottledPct(10 * event.Second); got != 30 {
+		t.Fatalf("ThrottledPct = %f, want 30", got)
+	}
+	if got := m.ThrottledPct(0); got != 0 {
+		t.Fatalf("ThrottledPct(0) = %f", got)
+	}
+}
+
+func TestHotplugEviction(t *testing.T) {
+	eng, sys := rig()
+	task := sys.NewTask("t", 1)
+	task.Pin(5)
+	sys.Push(task, 1e12)
+	eng.Run(10 * event.Millisecond)
+	if err := sys.SetCoreOnline(5, false); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50 * event.Millisecond)
+	if task.CPU() == 5 {
+		t.Fatal("task still on the offlined core")
+	}
+	if task.CurState() == sched.Sleeping {
+		t.Fatal("evicted task lost its work")
+	}
+	// The platform constraint still holds.
+	if err := sys.SetCoreOnline(5, true); err != nil {
+		t.Fatal(err)
+	}
+}

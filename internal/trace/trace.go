@@ -1,0 +1,253 @@
+// Package trace records a per-core execution timeline from a running
+// simulation — who ran where at every scheduler tick, and each cluster's
+// frequency — and renders it as a systrace-style ASCII chart. It is the
+// observability companion to the characterization metrics: Tables III-V
+// aggregate; the trace shows the individual migrations, bursts, and
+// frequency ramps that produce them.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+)
+
+// Sample is one scheduler tick's snapshot.
+type Sample struct {
+	At event.Time
+	// TaskOnCore[i] is the ID of the task running on core i, or -1.
+	TaskOnCore []int
+	// ClusterMHz[i] is cluster i's frequency.
+	ClusterMHz []int
+}
+
+// Recorder captures one Sample per scheduler tick via the system's
+// TickHook (chaining any hook already installed).
+type Recorder struct {
+	sys     *sched.System
+	from    event.Time
+	to      event.Time
+	Samples []Sample
+	// names caches task names by ID for rendering.
+	names map[int]string
+}
+
+// Attach installs a recorder on sys capturing ticks in [from, to). A zero
+// `to` records until the run ends — beware memory on long runs (one sample
+// per core per millisecond).
+func Attach(sys *sched.System, from, to event.Time) *Recorder {
+	r := &Recorder{sys: sys, from: from, to: to, names: map[int]string{}}
+	prev := sys.TickHook
+	sys.TickHook = func(now event.Time) {
+		if prev != nil {
+			prev(now)
+		}
+		r.capture(now)
+	}
+	return r
+}
+
+func (r *Recorder) capture(now event.Time) {
+	if now < r.from || (r.to > 0 && now >= r.to) {
+		return
+	}
+	soc := r.sys.SoC
+	s := Sample{
+		At:         now,
+		TaskOnCore: make([]int, len(soc.Cores)),
+		ClusterMHz: make([]int, len(soc.Clusters)),
+	}
+	for i := range s.TaskOnCore {
+		s.TaskOnCore[i] = -1
+	}
+	for _, t := range r.sys.Tasks() {
+		if t.CurState() == sched.Running {
+			s.TaskOnCore[t.CPU()] = t.ID
+			r.names[t.ID] = t.Name
+		}
+	}
+	for i := range soc.Clusters {
+		s.ClusterMHz[i] = soc.Clusters[i].CurMHz
+	}
+	r.Samples = append(r.Samples, s)
+}
+
+// glyphs assigns a stable single-character glyph per task ID, in first-seen
+// order: a-z, then A-Z, then '#'.
+func (r *Recorder) glyphs() map[int]byte {
+	var ids []int
+	for id := range r.names {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := map[int]byte{}
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for i, id := range ids {
+		if i < len(alpha) {
+			out[id] = alpha[i]
+		} else {
+			out[id] = '#'
+		}
+	}
+	return out
+}
+
+// Render draws the recorded window as one row per core ('.' = idle, one
+// glyph per task) plus a legend and per-cluster frequency summary lines.
+// Columns are individual ticks; long windows are downsampled to fit width
+// columns (0 = no limit).
+func (r *Recorder) Render(width int) string {
+	if len(r.Samples) == 0 {
+		return "trace: no samples recorded\n"
+	}
+	stride := 1
+	if width > 0 && len(r.Samples) > width {
+		stride = (len(r.Samples) + width - 1) / width
+	}
+	glyphs := r.glyphs()
+	soc := r.sys.SoC
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %v .. %v, %d ticks, 1 column = %d tick(s)\n",
+		r.Samples[0].At, r.Samples[len(r.Samples)-1].At, len(r.Samples), stride)
+
+	for core := range soc.Cores {
+		fmt.Fprintf(&b, "cpu%d %-6s |", core, soc.Cores[core].Type)
+		for i := 0; i < len(r.Samples); i += stride {
+			// Within a stride, show the most common non-idle occupant.
+			counts := map[int]int{}
+			for j := i; j < i+stride && j < len(r.Samples); j++ {
+				counts[r.Samples[j].TaskOnCore[core]]++
+			}
+			best, bestN := -1, 0
+			for id, n := range counts {
+				if id >= 0 && n > bestN {
+					best, bestN = id, n
+				}
+			}
+			if best == -1 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(glyphs[best])
+			}
+		}
+		b.WriteString("|\n")
+	}
+
+	// Frequency bands per cluster: min/avg/max over the window.
+	for ci := range soc.Clusters {
+		min, max, sum := 1<<30, 0, 0
+		for _, s := range r.Samples {
+			f := s.ClusterMHz[ci]
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+			sum += f
+		}
+		fmt.Fprintf(&b, "%-6s cluster MHz: min %d avg %d max %d\n",
+			soc.Clusters[ci].Type, min, sum/len(r.Samples), max)
+	}
+
+	// Legend, sorted by glyph.
+	type entry struct {
+		g    byte
+		name string
+	}
+	var legend []entry
+	for id, g := range glyphs {
+		legend = append(legend, entry{g, r.names[id]})
+	}
+	sort.Slice(legend, func(i, j int) bool { return legend[i].g < legend[j].g })
+	b.WriteString("legend:")
+	for _, e := range legend {
+		fmt.Fprintf(&b, " %c=%s", e.g, e.name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Residency summarizes per-task core-type residency over the window: the
+// fraction of recorded running time each task spent per core type.
+func (r *Recorder) Residency() map[string]map[platform.CoreType]float64 {
+	counts := map[int]map[platform.CoreType]int{}
+	totals := map[int]int{}
+	for _, s := range r.Samples {
+		for core, id := range s.TaskOnCore {
+			if id < 0 {
+				continue
+			}
+			if counts[id] == nil {
+				counts[id] = map[platform.CoreType]int{}
+			}
+			counts[id][r.sys.SoC.Cores[core].Type]++
+			totals[id]++
+		}
+	}
+	out := map[string]map[platform.CoreType]float64{}
+	for id, per := range counts {
+		m := map[platform.CoreType]float64{}
+		for typ, n := range per {
+			m[typ] = float64(n) / float64(totals[id])
+		}
+		out[r.names[id]] = m
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete events), so recorded
+// timelines open directly in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// ChromeTrace renders the recorded window as Chrome trace-event JSON: one
+// track per core (tid = core id), one slice per contiguous run of a task.
+func (r *Recorder) ChromeTrace() ([]byte, error) {
+	var events []chromeEvent
+	if len(r.Samples) > 0 {
+		nCores := len(r.Samples[0].TaskOnCore)
+		for core := 0; core < nCores; core++ {
+			runStart := -1
+			runTask := -1
+			flush := func(endIdx int) {
+				if runTask < 0 || runStart < 0 {
+					return
+				}
+				start := r.Samples[runStart].At
+				end := r.Samples[endIdx-1].At + event.Millisecond
+				events = append(events, chromeEvent{
+					Name: r.names[runTask],
+					Ph:   "X",
+					Ts:   float64(start) / 1000,
+					Dur:  float64(end-start) / 1000,
+					PID:  1,
+					TID:  core,
+				})
+			}
+			for i, s := range r.Samples {
+				t := s.TaskOnCore[core]
+				if t != runTask {
+					flush(i)
+					runStart, runTask = i, t
+				}
+			}
+			flush(len(r.Samples))
+		}
+	}
+	return json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+)
+
+func rig() (*event.Engine, *sched.System) {
+	eng := event.New()
+	sys := sched.New(eng, platform.Exynos5422(), sched.DefaultConfig())
+	sys.Start()
+	return eng, sys
+}
+
+func TestCapturesRunningTasks(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 100*event.Millisecond)
+	task := sys.NewTask("worker", 1)
+	task.Pin(2)
+	sys.Push(task, 1e12)
+	eng.Run(100 * event.Millisecond)
+
+	if len(r.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	seen := false
+	for _, s := range r.Samples {
+		if s.TaskOnCore[2] == task.ID {
+			seen = true
+		}
+		for c, id := range s.TaskOnCore {
+			if c != 2 && id != -1 {
+				t.Fatalf("unexpected occupant %d on core %d", id, c)
+			}
+		}
+		if len(s.ClusterMHz) != 2 {
+			t.Fatalf("cluster freqs %v", s.ClusterMHz)
+		}
+	}
+	if !seen {
+		t.Fatal("pinned worker never observed on its core")
+	}
+}
+
+func TestWindowRespected(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 50*event.Millisecond, 60*event.Millisecond)
+	eng.Run(200 * event.Millisecond)
+	if len(r.Samples) == 0 || len(r.Samples) > 11 {
+		t.Fatalf("%d samples for a 10ms window at 1ms ticks", len(r.Samples))
+	}
+	for _, s := range r.Samples {
+		if s.At < 50*event.Millisecond || s.At >= 60*event.Millisecond {
+			t.Fatalf("sample at %v outside window", s.At)
+		}
+	}
+}
+
+func TestRenderContainsTimelineAndLegend(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 50*event.Millisecond)
+	task := sys.NewTask("render.thread", 1)
+	task.Pin(0)
+	var gen func(now event.Time)
+	gen = func(now event.Time) {
+		sys.Push(task, 3e6)
+		eng.At(now+10*event.Millisecond, gen)
+	}
+	gen(0)
+	eng.Run(50 * event.Millisecond)
+
+	out := r.Render(80)
+	if !strings.Contains(out, "cpu0") || !strings.Contains(out, "cpu7") {
+		t.Fatalf("missing core rows:\n%s", out)
+	}
+	if !strings.Contains(out, "a=render.thread") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "little cluster MHz") || !strings.Contains(out, "big    cluster MHz") {
+		t.Fatalf("missing frequency summary:\n%s", out)
+	}
+	// cpu0's row must contain the task glyph.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cpu0") && !strings.Contains(line, "a") {
+			t.Fatalf("cpu0 row has no activity: %q", line)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	_, sys := rig()
+	r := Attach(sys, 0, 0)
+	if out := r.Render(0); !strings.Contains(out, "no samples") {
+		t.Fatalf("empty render: %q", out)
+	}
+}
+
+func TestRenderDownsamples(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, event.Second)
+	eng.Run(event.Second)
+	out := r.Render(100)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cpu0") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) > 110 {
+				t.Fatalf("row not downsampled: %d columns", len(inner))
+			}
+		}
+	}
+}
+
+func TestResidency(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 200*event.Millisecond)
+	little := sys.NewTask("on.little", 1)
+	little.Pin(1)
+	big := sys.NewTask("on.big", 1)
+	big.Pin(5)
+	sys.Push(little, 1e12)
+	sys.Push(big, 1e12)
+	eng.Run(200 * event.Millisecond)
+
+	res := r.Residency()
+	if res["on.little"][platform.Little] < 0.99 {
+		t.Fatalf("little residency %v", res["on.little"])
+	}
+	if res["on.big"][platform.Big] < 0.99 {
+		t.Fatalf("big residency %v", res["on.big"])
+	}
+}
+
+func TestChainsExistingHook(t *testing.T) {
+	eng, sys := rig()
+	called := 0
+	sys.TickHook = func(event.Time) { called++ }
+	Attach(sys, 0, 50*event.Millisecond)
+	eng.Run(50 * event.Millisecond)
+	if called == 0 {
+		t.Fatal("previous TickHook was not chained")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 50*event.Millisecond)
+	task := sys.NewTask("chrome.task", 1)
+	task.Pin(1)
+	sys.Push(task, 1e12)
+	eng.Run(50 * event.Millisecond)
+	data, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, `"chrome.task"`) || !strings.Contains(out, `"ph":"X"`) {
+		t.Fatalf("chrome trace missing slices: %s", out[:min(200, len(out))])
+	}
+	if !strings.Contains(out, `"tid":1`) {
+		t.Fatal("core track missing")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package uarch
+
+import (
+	"testing"
+
+	"biglittle/internal/synth"
+)
+
+const testInstr = 150_000
+
+func runAll(t *testing.T, m Model, freq int) map[string]Result {
+	t.Helper()
+	out := map[string]Result{}
+	for _, p := range synth.SPEC() {
+		out[p.Name] = Run(m, p, freq, testInstr)
+	}
+	return out
+}
+
+// Calibration anchor (§III-A, Fig. 2): at the same 1.3 GHz the big core is
+// faster for every SPEC workload, with the spread reaching roughly 4.5x for
+// cache-sensitive workloads and staying modest for compute-dense ones.
+func TestSameFrequencySpeedups(t *testing.T) {
+	little := runAll(t, CortexA7(), 1300)
+	big := runAll(t, CortexA15(), 1300)
+
+	maxSp, minSp := 0.0, 1e9
+	for name := range little {
+		sp := Speedup(big[name], little[name])
+		t.Logf("%-12s speedup %.2f (little CPI %.2f, big CPI %.2f)", name, sp,
+			little[name].CPI, big[name].CPI)
+		if sp <= 1.0 {
+			t.Errorf("%s: big core slower at equal frequency (%.2f)", name, sp)
+		}
+		if sp > maxSp {
+			maxSp = sp
+		}
+		if sp < minSp {
+			minSp = sp
+		}
+	}
+	if maxSp < 3.5 || maxSp > 5.5 {
+		t.Errorf("max same-frequency speedup %.2f outside paper's ~4.5x band", maxSp)
+	}
+	if minSp > 2.0 {
+		t.Errorf("min same-frequency speedup %.2f: expected compute-dense workloads near the bottom of the range", minSp)
+	}
+}
+
+// Calibration anchor (§III-A): at the minimum big frequency (0.8 GHz) a few
+// workloads run slower than a little core at 1.3 GHz, but most still win.
+func TestMinBigFrequencyCrossover(t *testing.T) {
+	little := runAll(t, CortexA7(), 1300)
+	big := runAll(t, CortexA15(), 800)
+	slower := 0
+	for name := range little {
+		if Speedup(big[name], little[name]) < 1.0 {
+			slower++
+		}
+	}
+	if slower < 2 || slower > 5 {
+		t.Errorf("%d workloads slower on big@0.8GHz than little@1.3GHz; paper shows 3", slower)
+	}
+}
+
+// The L2 size is the decisive factor for mcf-like workloads: the big L2
+// contains the working set, the little one does not.
+func TestL2SizeDrivesGap(t *testing.T) {
+	p, _ := synth.ProfileByName("mcf")
+	little := Run(CortexA7(), p, 1300, testInstr)
+	big := Run(CortexA15(), p, 1300, testInstr)
+	if little.L2MissRate < 0.3 {
+		t.Errorf("little L2 miss rate %.2f for mcf, want substantial misses", little.L2MissRate)
+	}
+	if big.L2MissRate > 0.1 {
+		t.Errorf("big L2 miss rate %.2f for mcf, want near-zero (WS fits 2MB)", big.L2MissRate)
+	}
+
+	// Control: give the little core a 2MB L2 and the gap must shrink a lot.
+	grown := CortexA7()
+	grown.L2.SizeB = 2 << 20
+	grownRes := Run(grown, p, 1300, testInstr)
+	if grownRes.Seconds >= little.Seconds*0.6 {
+		t.Errorf("2MB L2 on little core should cut mcf time sharply: %.4fs vs %.4fs",
+			grownRes.Seconds, little.Seconds)
+	}
+}
+
+func TestFrequencyScaling(t *testing.T) {
+	for _, name := range []string{"hmmer", "libquantum"} {
+		p, _ := synth.ProfileByName(name)
+		m := CortexA15()
+		r08 := Run(m, p, 800, testInstr)
+		r19 := Run(m, p, 1900, testInstr)
+		sp := Speedup(r19, r08)
+		if sp <= 1.0 {
+			t.Errorf("%s: no gain from 0.8->1.9GHz (%.2f)", name, sp)
+		}
+		// libquantum misses both L2s (16MB stream), so DRAM stalls must damp
+		// its frequency scaling well below the 2.375x frequency step.
+		if name == "libquantum" && sp > 1.9 {
+			t.Errorf("libquantum scaled %.2fx for a 2.375x frequency step; memory stalls should damp it", sp)
+		}
+		if name == "hmmer" && sp < 2.0 {
+			t.Errorf("hmmer scaled only %.2fx; compute-dense should be near-linear", sp)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	p, _ := synth.ProfileByName("gcc")
+	a := Run(CortexA15(), p, 1300, testInstr)
+	b := Run(CortexA15(), p, 1300, testInstr)
+	if a != b {
+		t.Fatalf("same run differed:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	for _, p := range synth.SPEC() {
+		r := Run(CortexA7(), p, 1000, 50_000)
+		sum := r.BaseCycles + r.BranchCycles + r.MemCycles + r.FetchCycles
+		if diff := sum - r.Cycles; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: cycle components %.1f != total %.1f", p.Name, sum, r.Cycles)
+		}
+		if r.CPI < 0.3 {
+			t.Errorf("%s: implausibly low CPI %.2f", p.Name, r.CPI)
+		}
+		if r.Instructions != 50_000 {
+			t.Errorf("%s: instructions %d, want 50000", p.Name, r.Instructions)
+		}
+	}
+}
+
+func TestModelPresets(t *testing.T) {
+	a7, a15 := CortexA7(), CortexA15()
+	if a7.L2.SizeB != 512<<10 || a15.L2.SizeB != 2<<20 {
+		t.Fatal("Table I L2 sizes not encoded")
+	}
+	if a7.IssueWidth != 2 || a15.IssueWidth != 3 {
+		t.Fatal("Table I issue widths not encoded")
+	}
+	if a7.MinFreqMHz != 500 || a7.MaxFreqMHz != 1300 || a15.MinFreqMHz != 800 || a15.MaxFreqMHz != 1900 {
+		t.Fatal("frequency ranges not encoded")
+	}
+	if !a15.OutOfOrder || a7.OutOfOrder {
+		t.Fatal("OoO flags wrong")
+	}
+}
+
+func BenchmarkRunA15(b *testing.B) {
+	p, _ := synth.ProfileByName("gcc")
+	m := CortexA15()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(m, p, 1300, 20_000)
+	}
+}

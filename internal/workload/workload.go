@@ -1,0 +1,330 @@
+// Package workload provides the demand-generation primitives from which the
+// twelve mobile application models (package apps) are composed: periodic
+// frame loops (games, video), Poisson-triggered bursts (user input),
+// continuous CPU hogs (encoding), and multi-stage interaction pipelines with
+// parallel fan-out (page loads, photo filters), mirroring the burst-on-touch
+// and steady-frame CPU load patterns §II describes.
+//
+// All randomness flows through one seeded source per run, so every
+// simulation is reproducible.
+package workload
+
+import (
+	"math/rand"
+
+	"biglittle/internal/event"
+	"biglittle/internal/metrics"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+)
+
+// Ctx bundles what generators need to drive a simulation.
+type Ctx struct {
+	Eng      *event.Engine
+	Sys      *sched.System
+	Rng      *rand.Rand
+	Duration event.Time
+
+	FPS *metrics.FPSTracker
+	Lat *metrics.LatencyTracker
+}
+
+// Mc is one million cycles — the natural unit for segment sizes (a little
+// core at 1.3 GHz executes 1300 Mc per second).
+const Mc = 1e6
+
+// Thread wraps a scheduler task with per-segment completion callbacks so
+// pipelines can sequence work across threads.
+type Thread struct {
+	Task *sched.Task
+	sys  *sched.System
+	cbs  []func(now event.Time)
+}
+
+// NewThread creates a named thread with the given big-core speedup.
+func NewThread(sys *sched.System, name string, speedup float64) *Thread {
+	th := &Thread{Task: sys.NewTask(name, speedup), sys: sys}
+	th.Task.OnSegment = func(now event.Time) {
+		if len(th.cbs) == 0 {
+			return
+		}
+		cb := th.cbs[0]
+		th.cbs = th.cbs[1:]
+		if cb != nil {
+			cb(now)
+		}
+	}
+	return th
+}
+
+// Push enqueues cycles of work; done (may be nil) fires when this specific
+// segment completes.
+func (th *Thread) Push(cycles float64, done func(now event.Time)) {
+	if cycles <= 0 {
+		if done != nil {
+			done(th.sys.Eng.Now())
+		}
+		return
+	}
+	th.cbs = append(th.cbs, done)
+	th.sys.Push(th.Task, cycles)
+}
+
+// Jitter returns mean scaled by a uniform factor in [1-cv, 1+cv], never
+// below 10% of mean. cv = 0 returns mean unchanged.
+func (c *Ctx) Jitter(mean, cv float64) float64 {
+	if cv <= 0 {
+		return mean
+	}
+	v := mean * (1 + cv*(2*c.Rng.Float64()-1))
+	if v < 0.1*mean {
+		v = 0.1 * mean
+	}
+	return v
+}
+
+// Exp returns an exponentially distributed duration with the given mean
+// (Poisson inter-arrival), clamped to at least 100 µs.
+func (c *Ctx) Exp(mean event.Time) event.Time {
+	d := event.Time(float64(mean) * c.Rng.ExpFloat64())
+	if d < 100*event.Microsecond {
+		d = 100 * event.Microsecond
+	}
+	return d
+}
+
+// HeavyTail returns mean-centered work with an occasional heavy value:
+// with probability p the result is mult x mean (a "hard" page, frame, or
+// file), otherwise jittered around mean. Used to reproduce the occasional
+// load spikes that pull in a big core.
+func (c *Ctx) HeavyTail(mean, cv, p, mult float64) float64 {
+	if c.Rng.Float64() < p {
+		return c.Jitter(mean*mult, cv/2)
+	}
+	return c.Jitter(mean, cv)
+}
+
+// PeriodicConfig drives a frame-style loop.
+type PeriodicConfig struct {
+	Period event.Time
+	// Work per activation in cycles (mean) with uniform CV jitter.
+	Work float64
+	CV   float64
+	// DropIfBusy skips an activation when the previous one has not finished
+	// (games drop frames instead of queueing them).
+	DropIfBusy bool
+	// HeavyP/HeavyMult add a heavy-tail to the work distribution.
+	HeavyP    float64
+	HeavyMult float64
+	// Offset delays the first activation.
+	Offset event.Time
+	// OnDone fires on each completed activation (e.g. FPS accounting).
+	OnDone func(now event.Time)
+	// Until stops the loop (defaults to ctx.Duration).
+	Until event.Time
+}
+
+// Periodic runs cfg on th: every Period, push one activation's work.
+func Periodic(ctx *Ctx, th *Thread, cfg PeriodicConfig) {
+	until := cfg.Until
+	if until == 0 {
+		until = ctx.Duration
+	}
+	var tick func(now event.Time)
+	tick = func(now event.Time) {
+		if now >= until {
+			return
+		}
+		if !(cfg.DropIfBusy && th.Task.CurState() != sched.Sleeping) {
+			w := cfg.Work
+			if cfg.HeavyP > 0 {
+				w = ctx.HeavyTail(cfg.Work, cfg.CV, cfg.HeavyP, cfg.HeavyMult)
+			} else {
+				w = ctx.Jitter(cfg.Work, cfg.CV)
+			}
+			th.Push(w, cfg.OnDone)
+		}
+		ctx.Eng.At(now+cfg.Period, tick)
+	}
+	ctx.Eng.After(cfg.Offset, tick)
+}
+
+// Continuous keeps th 100% busy with segment-sized chunks until ctx.Duration
+// (an encoder worker or CPU hog).
+func Continuous(ctx *Ctx, th *Thread, segment float64) {
+	var refill func(now event.Time)
+	refill = func(now event.Time) {
+		if now >= ctx.Duration {
+			return
+		}
+		th.Push(ctx.Jitter(segment, 0.1), refill)
+	}
+	refill(0)
+}
+
+// PoissonBursts pushes exponentially spaced bursts of work onto th —
+// background activity such as network callbacks or GC.
+func PoissonBursts(ctx *Ctx, th *Thread, meanInterval event.Time, work, cv float64) {
+	var arrive func(now event.Time)
+	arrive = func(now event.Time) {
+		if now >= ctx.Duration {
+			return
+		}
+		th.Push(ctx.Jitter(work, cv), nil)
+		ctx.Eng.At(now+ctx.Exp(meanInterval), arrive)
+	}
+	ctx.Eng.After(ctx.Exp(meanInterval), arrive)
+}
+
+// Stage is one step of an interaction pipeline: Work cycles pushed to every
+// thread in Threads in parallel; the stage completes when all finish.
+type Stage struct {
+	Threads []*Thread
+	Work    float64
+	CV      float64
+	// HeavyP/HeavyMult give the stage an occasional heavy activation.
+	HeavyP    float64
+	HeavyMult float64
+	// PostDelay is non-CPU time after the stage completes before the next
+	// stage starts — disk and network waits, GPU rendering, vsync. It does
+	// not shrink on faster cores, which (together with the governor's
+	// utilization targeting) is why the paper measures <30% latency gain
+	// from big cores on mobile apps despite SPEC speedups of 2-4.5x.
+	PostDelay event.Time
+}
+
+// RunStages executes stages sequentially starting now; done fires when the
+// last stage completes.
+func RunStages(ctx *Ctx, stages []Stage, done func(now event.Time)) {
+	var runFrom func(i int, now event.Time)
+	runFrom = func(i int, now event.Time) {
+		if i >= len(stages) {
+			if done != nil {
+				done(now)
+			}
+			return
+		}
+		st := stages[i]
+		next := func(fin event.Time) {
+			if st.PostDelay > 0 {
+				ctx.Eng.At(fin+st.PostDelay, func(at event.Time) { runFrom(i+1, at) })
+				return
+			}
+			runFrom(i+1, fin)
+		}
+		if len(st.Threads) == 0 {
+			next(now)
+			return
+		}
+		remaining := len(st.Threads)
+		for _, th := range st.Threads {
+			w := st.Work
+			if st.HeavyP > 0 {
+				w = ctx.HeavyTail(st.Work, st.CV, st.HeavyP, st.HeavyMult)
+			} else {
+				w = ctx.Jitter(st.Work, st.CV)
+			}
+			th.Push(w, func(fin event.Time) {
+				remaining--
+				if remaining == 0 {
+					next(fin)
+				}
+			})
+		}
+	}
+	runFrom(0, ctx.Eng.Now())
+}
+
+// InteractionConfig drives InteractionLoop.
+type InteractionConfig struct {
+	// Think is the mean user think time between interactions, with ThinkCV
+	// uniform jitter.
+	Think   event.Time
+	ThinkCV float64
+	// Stages produces the interaction's pipeline (called per interaction so
+	// work draws fresh randomness).
+	Stages func() []Stage
+	// Boost lists threads whose load is boosted to BoostLoad at each
+	// interaction start — Android's input boost, which makes the responding
+	// threads immediately eligible for a big core. The boost is re-applied
+	// every 25 ms for BoostWindow (default 120 ms), matching the input
+	// booster's hold window, so threads woken by later pipeline stages are
+	// still covered.
+	Boost       []*Thread
+	BoostLoad   int
+	BoostWindow event.Time
+	// Silent excludes this loop's interactions from latency accounting
+	// (auxiliary activity such as scrolling between measured page loads).
+	Silent bool
+}
+
+// InteractionLoop models a user performing actions separated by think time:
+// each interaction runs the stage pipeline produced by cfg.Stages and its
+// start-to-finish latency is recorded in ctx.Lat.
+func InteractionLoop(ctx *Ctx, cfg InteractionConfig) {
+	boostLoad := cfg.BoostLoad
+	if boostLoad == 0 {
+		boostLoad = 800
+	}
+	var next func(now event.Time)
+	next = func(now event.Time) {
+		if now >= ctx.Duration {
+			return
+		}
+		window := cfg.BoostWindow
+		if window == 0 {
+			window = 120 * event.Millisecond
+		}
+		for off := event.Time(0); off <= window; off += 25 * event.Millisecond {
+			ctx.Eng.At(now+off, func(event.Time) {
+				for _, th := range cfg.Boost {
+					th.Task.Boost(boostLoad)
+				}
+			})
+		}
+		start := now
+		RunStages(ctx, cfg.Stages(), func(fin event.Time) {
+			if ctx.Lat != nil && !cfg.Silent {
+				ctx.Lat.Record(fin - start)
+			}
+			think := event.Time(ctx.Jitter(float64(cfg.Think), cfg.ThinkCV))
+			ctx.Eng.At(fin+think, next)
+		})
+	}
+	ctx.Eng.After(event.Time(ctx.Jitter(float64(cfg.Think/2), 0.5)), next)
+}
+
+// TouchKicks models the Android input booster: while the user is touching
+// the screen (Poisson events with the given mean gap), the little cluster's
+// frequency is kicked to maximum. At full frequency a heavily loaded
+// thread's frequency-invariant load can finally cross the HMP up-threshold,
+// so sustained heavy scenes migrate to a big core — while light workloads
+// just scale back down at the next governor sample.
+func TouchKicks(ctx *Ctx, meanGap event.Time) {
+	soc := ctx.Sys.SoC
+	var touch func(now event.Time)
+	touch = func(now event.Time) {
+		if now >= ctx.Duration {
+			return
+		}
+		for ci := range soc.Clusters {
+			cl := &soc.Clusters[ci]
+			floor := cl.MaxMHz()
+			if cl.Type == platform.Big {
+				floor = 1500 // the booster's big-cluster frequency floor
+			}
+			if cl.CurMHz < floor && len(soc.OnlineCores(cl.Type)) > 0 {
+				ctx.Sys.SetClusterFreq(ci, floor)
+			}
+		}
+		ctx.Eng.At(now+ctx.Exp(meanGap), touch)
+	}
+	ctx.Eng.After(ctx.Exp(meanGap), touch)
+}
+
+// CyclesForDuty returns the work in cycles that occupies the given duty
+// fraction of a core at mhz for one period — used by app models to size
+// frame work against frame budgets.
+func CyclesForDuty(duty float64, mhz int, period event.Time) float64 {
+	return duty * float64(mhz) / 1000 * float64(period)
+}
