@@ -1,14 +1,17 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test bench report quick-report cover fmt vet all
+.PHONY: build test test-race bench report quick-report cover fmt vet all
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+test-race:
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -35,6 +35,7 @@ import (
 	"biglittle/internal/session"
 	"biglittle/internal/spec"
 	"biglittle/internal/synth"
+	"biglittle/internal/telemetry"
 	"biglittle/internal/thermal"
 	"biglittle/internal/trace"
 	"biglittle/internal/uarch"
@@ -221,6 +222,35 @@ type TraceRecorder = trace.Recorder
 func AttachTrace(sys *SchedSystem, from, to Time) *TraceRecorder {
 	return trace.Attach(sys, from, to)
 }
+
+// Telemetry is the event-level instrumentation collector. Set one as
+// Config.Telemetry to receive scheduler, governor, thermal, hotplug and
+// power events from a run, plus metric registries (counters, gauges,
+// histograms). A nil *Telemetry disables instrumentation at near-zero cost.
+type Telemetry = telemetry.Collector
+
+// TelemetryEvent is one instrumentation event.
+type TelemetryEvent = telemetry.Event
+
+// TelemetryKind classifies instrumentation events.
+type TelemetryKind = telemetry.Kind
+
+// Telemetry event kinds.
+const (
+	EvMigration = telemetry.KindMigration
+	EvWake      = telemetry.KindWake
+	EvPreempt   = telemetry.KindPreempt
+	EvBoost     = telemetry.KindBoost
+	EvFreq      = telemetry.KindFreq
+	EvGovernor  = telemetry.KindGovernor
+	EvHotplug   = telemetry.KindHotplug
+	EvThrottle  = telemetry.KindThrottle
+	EvPower     = telemetry.KindPower
+)
+
+// NewTelemetry creates an enabled telemetry collector with the default
+// event-ring capacity.
+func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
 
 // SchedulerKind selects the thread-to-core mapping policy (§IV-A).
 type SchedulerKind = core.SchedulerKind

@@ -1,0 +1,87 @@
+// Command blmetrics runs one application model with full telemetry enabled
+// and reports the event-level view of the run: per-kind event counts,
+// migration reasons and rate, the frequency-transition histogram, and
+// latency/frame-time percentiles. The raw event log and metric registries
+// can be dumped as CSV or JSON for offline analysis.
+//
+// Usage:
+//
+//	blmetrics -app bbench -duration 30s
+//	blmetrics -app angry_birds -csv events.csv -json metrics.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"biglittle"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "bbench", "application model to run")
+		cores    = flag.String("cores", "L4+B4", "hotplug configuration")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		duration = flag.Duration("duration", 30*time.Second, "simulated run duration")
+		csvPath  = flag.String("csv", "", "write the raw event log as CSV")
+		jsonPath = flag.String("json", "", "write events + metric registries as JSON")
+	)
+	flag.Parse()
+
+	app, err := biglittle.AppByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cc, err := biglittle.ParseCoreConfig(*cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Seed = *seed
+	cfg.Cores = cc
+	cfg.Duration = biglittle.Time(duration.Nanoseconds())
+
+	tel := biglittle.NewTelemetry()
+	cfg.Telemetry = tel
+
+	res := biglittle.Run(cfg)
+
+	fmt.Printf("%s on %s, %v, seed %d\n\n", app.Name, *cores, *duration, *seed)
+	fmt.Print(tel.Summary(cfg.Duration))
+	fmt.Printf("\nscheduler cross-check: Result.HMPMigrations=%d telemetry=%d\n",
+		res.HMPMigrations, tel.HMPMigrations())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tel.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *csvPath, len(tel.Events()))
+	}
+	if *jsonPath != "" {
+		data, err := tel.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *jsonPath, len(data))
+	}
+}

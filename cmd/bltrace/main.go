@@ -20,13 +20,14 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "eternity_warrior", "application model to trace")
-		from    = flag.Duration("from", 5*time.Second, "window start (simulated time)")
-		window  = flag.Duration("window", 300*time.Millisecond, "window length")
-		width   = flag.Int("width", 120, "maximum timeline columns (0 = one per tick)")
-		seed    = flag.Int64("seed", 1, "workload random seed")
-		cores   = flag.String("cores", "L4+B4", "hotplug configuration")
-		chrome  = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
+		appName  = flag.String("app", "eternity_warrior", "application model to trace")
+		from     = flag.Duration("from", 5*time.Second, "window start (simulated time)")
+		window   = flag.Duration("window", 300*time.Millisecond, "window length")
+		duration = flag.Duration("duration", 0, "total run duration (0 = run exactly until the window ends)")
+		width    = flag.Int("width", 120, "maximum timeline columns (0 = one per tick)")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		cores    = flag.String("cores", "L4+B4", "hotplug configuration")
+		chrome   = flag.String("chrome", "", "write a Chrome trace-event JSON file (open in chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -45,14 +46,29 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Cores = cc
 	cfg.Duration = biglittle.Time((*from + *window).Nanoseconds())
+	if *duration > 0 {
+		cfg.Duration = biglittle.Time(duration.Nanoseconds())
+	}
+
+	tel := biglittle.NewTelemetry()
+	cfg.Telemetry = tel
 
 	var rec *biglittle.TraceRecorder
 	cfg.OnSystem = func(sys *biglittle.SchedSystem) {
 		rec = biglittle.AttachTrace(sys,
 			biglittle.Time(from.Nanoseconds()),
 			biglittle.Time((*from + *window).Nanoseconds()))
+		rec.Tel = tel
 	}
 	biglittle.Run(cfg)
+
+	if len(rec.Samples) == 0 {
+		fmt.Fprintf(os.Stderr,
+			"bltrace: no samples recorded: the window [%v, %v) lies beyond the run duration %v; "+
+				"lower -from/-window or raise -duration\n",
+			*from, *from+*window, time.Duration(cfg.Duration))
+		os.Exit(1)
+	}
 
 	if *chrome != "" {
 		data, err := rec.ChromeTrace()

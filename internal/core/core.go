@@ -18,6 +18,7 @@ import (
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 	"biglittle/internal/thermal"
 	"biglittle/internal/workload"
 )
@@ -121,6 +122,15 @@ type Config struct {
 	// Thermal, when non-nil, enables the per-cluster thermal model and its
 	// throttling governor.
 	Thermal *thermal.Params
+
+	// Telemetry, when non-nil, is attached to every subsystem for the run:
+	// the scheduler emits migration/wake/preempt/boost events, the governor
+	// its frequency decisions, the thermal model throttle steps, hotplug
+	// transitions are recorded, and the 10 ms sampler publishes power
+	// snapshots. Latency and frame-time distributions land in the
+	// "latency_ms" and "frame_time_ms" histograms. Nil (the default)
+	// disables all recording at near-zero cost.
+	Telemetry *telemetry.Collector
 
 	// OnSystem, if set, is called with the assembled scheduler system right
 	// before the workload is built — an extension point for attaching trace
@@ -240,6 +250,7 @@ func Run(cfg Config) Result {
 		panic(err) // configurations are validated values; misuse is a bug
 	}
 	sys := sched.New(eng, soc, cfg.Sched)
+	sys.Tel = cfg.Telemetry
 	pw := cfg.Power
 	sys.EnergyModel = func(typ platform.CoreType, mhz int) float64 {
 		return pw.CorePowerMW(typ, mhz, 1) - pw.CorePowerMW(typ, mhz, 0)
@@ -263,22 +274,31 @@ func Run(cfg Config) Result {
 	case Userspace:
 		governor.NewUserspace(sys, cfg.PinnedMHz).Start()
 	case Ondemand:
-		governor.NewOndemand(sys, cfg.Gov.SampleMs, 80).Start()
+		g := governor.NewOndemand(sys, cfg.Gov.SampleMs, 80)
+		g.Tel = cfg.Telemetry
+		g.Start()
 	case Conservative:
-		governor.NewConservative(sys, cfg.Gov.SampleMs, 80, 35).Start()
+		g := governor.NewConservative(sys, cfg.Gov.SampleMs, 80, 35)
+		g.Tel = cfg.Telemetry
+		g.Start()
 	case PAST:
-		governor.NewPAST(sys, cfg.Gov.SampleMs).Start()
+		g := governor.NewPAST(sys, cfg.Gov.SampleMs)
+		g.Tel = cfg.Telemetry
+		g.Start()
 	default:
 		g := governor.NewInteractive(sys, cfg.Gov)
+		g.Tel = cfg.Telemetry
 		g.Start()
 	}
 
 	sampler := metrics.NewSampler(sys, cfg.Power)
+	sampler.Tel = cfg.Telemetry
 	sampler.Start()
 
 	var therm *thermal.Model
 	if cfg.Thermal != nil {
 		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
+		therm.Tel = cfg.Telemetry
 		therm.Start()
 	}
 
@@ -294,9 +314,21 @@ func Run(cfg Config) Result {
 		FPS:      &metrics.FPSTracker{},
 		Lat:      &metrics.LatencyTracker{},
 	}
+	if tel := cfg.Telemetry; tel != nil {
+		lat := tel.Histogram("latency_ms")
+		ctx.Lat.Observe = func(d event.Time) { lat.Observe(d.Milliseconds()) }
+	}
 	cfg.App.Build(ctx)
 
 	eng.Run(cfg.Duration)
+
+	if tel := cfg.Telemetry; tel != nil {
+		ft := tel.Histogram("frame_time_ms")
+		times := ctx.FPS.Times()
+		for i := 1; i < len(times); i++ {
+			ft.Observe((times[i] - times[i-1]).Milliseconds())
+		}
+	}
 
 	res := Result{
 		App:       cfg.App.Name,

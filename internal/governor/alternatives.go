@@ -4,25 +4,33 @@ import (
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 )
 
 // loadSampler is the shared skeleton of the load-tracking governors: every
 // sample period it computes each online core's utilization and programs the
 // cluster to the maximum of a per-core policy function's targets.
 type loadSampler struct {
+	// Tel, when non-nil, receives a KindGovernor event for each frequency
+	// change decision; Reason carries the governor's name and Value the
+	// triggering utilization (percent).
+	Tel *telemetry.Collector
+
 	sys      *sched.System
+	name     string
 	sample   event.Time
 	lastBusy []event.Time
 	target   func(cl *platform.Cluster, curMHz int, util float64) int
 }
 
-func newLoadSampler(sys *sched.System, sampleMs int,
+func newLoadSampler(sys *sched.System, name string, sampleMs int,
 	target func(cl *platform.Cluster, curMHz int, util float64) int) *loadSampler {
 	if sampleMs <= 0 {
 		sampleMs = 20
 	}
 	return &loadSampler{
 		sys:      sys,
+		name:     name,
 		sample:   event.Time(sampleMs) * event.Millisecond,
 		lastBusy: make([]event.Time, len(sys.SoC.Cores)),
 		target:   target,
@@ -40,6 +48,7 @@ func (g *loadSampler) onSample(now event.Time) {
 		cl := &g.sys.SoC.Clusters[ci]
 		cur := cl.CurMHz
 		best := 0
+		maxUtil := 0.0
 		for _, id := range cl.CoreIDs {
 			if !g.sys.SoC.Cores[id].Online {
 				continue
@@ -47,6 +56,9 @@ func (g *loadSampler) onSample(now event.Time) {
 			busy := g.sys.BusyNs(id)
 			util := sched.CoreBusyFraction(g.lastBusy[id], busy, g.sample)
 			g.lastBusy[id] = busy
+			if util > maxUtil {
+				maxUtil = util
+			}
 			if t := g.target(cl, cur, util); t > best {
 				best = t
 			}
@@ -55,7 +67,15 @@ func (g *loadSampler) onSample(now event.Time) {
 			best = cl.MinMHz()
 		}
 		if best != cur {
-			g.sys.SetClusterFreq(ci, best)
+			got := g.sys.SetClusterFreq(ci, best)
+			if g.Tel != nil && got != cur {
+				g.Tel.Emit(telemetry.Event{
+					At: now, Kind: telemetry.KindGovernor,
+					Task: -1, Core: -1, FromCore: -1, Cluster: ci,
+					PrevMHz: cur, MHz: got,
+					Reason: g.name, Value: 100 * maxUtil,
+				})
+			}
 		}
 	}
 	g.sys.Eng.After(g.sample, g.onSample)
@@ -70,7 +90,7 @@ func NewOndemand(sys *sched.System, sampleMs, upThresholdPct int) *loadSampler {
 		upThresholdPct = 80
 	}
 	up := float64(upThresholdPct) / 100
-	return newLoadSampler(sys, sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
+	return newLoadSampler(sys, "ondemand", sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
 		if util > up {
 			return cl.MaxMHz()
 		}
@@ -90,7 +110,7 @@ func NewConservative(sys *sched.System, sampleMs, upPct, downPct int) *loadSampl
 		downPct = 35
 	}
 	up, down := float64(upPct)/100, float64(downPct)/100
-	return newLoadSampler(sys, sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
+	return newLoadSampler(sys, "conservative", sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
 		switch {
 		case util > up:
 			return cl.ClampMHz(cur + 100)
@@ -112,7 +132,7 @@ func NewConservative(sys *sched.System, sampleMs, upPct, downPct int) *loadSampl
 // headroom so minor increases do not immediately saturate.
 func NewPAST(sys *sched.System, sampleMs int) *loadSampler {
 	const headroom = 0.9 // run the predicted load at 90% utilization
-	return newLoadSampler(sys, sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
+	return newLoadSampler(sys, "past", sampleMs, func(cl *platform.Cluster, cur int, util float64) int {
 		return int(float64(cur) * util / headroom)
 	})
 }

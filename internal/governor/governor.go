@@ -13,6 +13,7 @@ import (
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 )
 
 // InteractiveConfig holds the tunables the paper sweeps in §VI-C.
@@ -64,6 +65,10 @@ type Interactive struct {
 	// FreqLog, if set, receives (time, clusterID, newMHz) on every sample
 	// (including unchanged frequencies) for residency accounting.
 	FreqLog func(now event.Time, clusterID, mhz int)
+	// Tel, when non-nil, receives a KindGovernor event for every frequency
+	// change decision, carrying the triggering utilization (Value, percent)
+	// and the reason (hispeed jump, scale-up, scale-down).
+	Tel *telemetry.Collector
 }
 
 // NewInteractive attaches an interactive governor to sys. Call Start to
@@ -117,6 +122,7 @@ func (g *Interactive) onSample(now event.Time) {
 		cl := &g.sys.SoC.Clusters[ci]
 		cur := cl.CurMHz
 		target := 0
+		maxUtil := 0.0
 		for _, id := range cl.CoreIDs {
 			if !g.sys.SoC.Cores[id].Online {
 				continue
@@ -124,6 +130,9 @@ func (g *Interactive) onSample(now event.Time) {
 			busy := g.sys.BusyNs(id)
 			util := sched.CoreBusyFraction(g.lastBusy[id], busy, g.sample)
 			g.lastBusy[id] = busy
+			if util > maxUtil {
+				maxUtil = util
+			}
 			t := g.coreTarget(cl, cur, util)
 			if t > target {
 				target = t
@@ -157,6 +166,22 @@ func (g *Interactive) onSample(now event.Time) {
 			newMHz = g.sys.SetClusterFreq(ci, target)
 			if newMHz > cur {
 				g.lastRaise[ci] = now
+			}
+			if g.Tel != nil && newMHz != cur {
+				reason := telemetry.ReasonScaleDown
+				if newMHz > cur {
+					if cur < g.hispeed(cl.Type) && newMHz >= g.hispeed(cl.Type) {
+						reason = telemetry.ReasonHispeed
+					} else {
+						reason = telemetry.ReasonScaleUp
+					}
+				}
+				g.Tel.Emit(telemetry.Event{
+					At: now, Kind: telemetry.KindGovernor,
+					Task: -1, Core: -1, FromCore: -1, Cluster: ci,
+					PrevMHz: cur, MHz: newMHz,
+					Reason: reason, Value: 100 * maxUtil,
+				})
 			}
 		}
 		if g.FreqLog != nil {

@@ -12,6 +12,7 @@ import (
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 )
 
 // SampleInterval is the paper's state-sampling period.
@@ -58,6 +59,10 @@ func (e EffState) String() string {
 // Sampler observes the system every SampleInterval and accumulates the
 // paper's characterization metrics. Attach with Start before running.
 type Sampler struct {
+	// Tel, when non-nil, receives a KindPower meter snapshot (Value in mW)
+	// every SampleInterval — the Monsoon-style power counter track.
+	Tel *telemetry.Collector
+
 	sys *sched.System
 	pw  power.Params
 
@@ -166,7 +171,15 @@ func (m *Sampler) onSample(now event.Time) {
 		}
 	}
 
-	m.meter.Add(SampleInterval, m.pw.SystemPowerMW(loads))
+	mw := m.pw.SystemPowerMW(loads)
+	m.meter.Add(SampleInterval, mw)
+	if m.Tel != nil {
+		m.Tel.Emit(telemetry.Event{
+			At: now, Kind: telemetry.KindPower,
+			Task: -1, Core: -1, FromCore: -1, Cluster: -1,
+			Value: mw,
+		})
+	}
 	m.sys.Eng.After(SampleInterval, m.onSample)
 }
 
@@ -316,6 +329,10 @@ type FPSTracker struct {
 // FrameDone records a frame completion.
 func (f *FPSTracker) FrameDone(now event.Time) { f.frames = append(f.frames, now) }
 
+// Times returns the recorded frame-completion timestamps in order — the raw
+// material for frame-time distributions.
+func (f *FPSTracker) Times() []event.Time { return f.frames }
+
 // Count returns total frames rendered.
 func (f *FPSTracker) Count() int { return len(f.frames) }
 
@@ -367,6 +384,11 @@ type LatencyTracker struct {
 	Total event.Time
 	Max   event.Time
 	N     int
+
+	// Observe, if set, additionally receives each individual latency —
+	// used to feed a telemetry histogram without storing the distribution
+	// here.
+	Observe func(d event.Time)
 }
 
 // Record adds one completed interaction.
@@ -376,6 +398,9 @@ func (l *LatencyTracker) Record(d event.Time) {
 		l.Max = d
 	}
 	l.N++
+	if l.Observe != nil {
+		l.Observe(d)
+	}
 }
 
 // Mean returns the average interaction latency.

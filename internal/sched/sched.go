@@ -17,6 +17,7 @@ import (
 	"biglittle/internal/event"
 	"biglittle/internal/pelt"
 	"biglittle/internal/platform"
+	"biglittle/internal/telemetry"
 )
 
 // Config holds the HMP scheduler tunables swept in §VI-C.
@@ -89,6 +90,7 @@ type Task struct {
 	// OnIdle fires when the task drains all queued work and goes to sleep.
 	OnIdle func(now event.Time)
 
+	sys       *System
 	tracker   *pelt.Tracker
 	state     State
 	cpu       int // current queue, -1 when sleeping
@@ -130,6 +132,14 @@ func (t *Task) Pin(cpu int) { t.pinned = cpu }
 func (t *Task) Boost(v int) {
 	if float64(v) > t.tracker.LoadF() {
 		t.tracker.Set(float64(v))
+		if t.sys != nil && t.sys.Tel != nil {
+			t.sys.Tel.Emit(telemetry.Event{
+				At: t.sys.Eng.Now(), Kind: telemetry.KindBoost,
+				Task: t.ID, TaskName: t.Name,
+				Core: t.cpu, FromCore: -1, Cluster: -1,
+				Value: float64(v),
+			})
+		}
 	}
 }
 
@@ -167,17 +177,32 @@ type System struct {
 	tick    event.Time
 	started bool
 
+	// Tel, when non-nil, receives a telemetry event for every migration
+	// (with its reason), wake placement, round-robin preemption, boost,
+	// frequency change, and hotplug transition. Nil disables all recording
+	// at the cost of one pointer check per occurrence.
+	Tel *telemetry.Collector
+
 	// TickHook, if set, runs at the end of every scheduler tick (used by
 	// metrics and tests to observe a consistent state).
+	//
+	// Hook-chaining contract (applies to TickHook, MigrateHook, and
+	// WakeHook alike): installing a hook on a system that already has one
+	// MUST save the previous hook and invoke it from the replacement —
+	// hooks form a chain, not a slot. trace.Attach is the reference
+	// implementation. Overwriting without chaining silently detaches
+	// whatever was observing the system before you.
 	TickHook func(now event.Time)
 
 	// MigrateHook, if set, replaces the built-in HMP threshold migration:
 	// it runs every tick after load updates and may call MoveToType to
 	// reassign tasks. Alternative scheduling policies (efficiency-based,
-	// parallelism-aware; §IV-A of the paper) plug in here.
+	// parallelism-aware; §IV-A of the paper) plug in here. See TickHook
+	// for the hook-chaining contract.
 	MigrateHook func(now event.Time)
 	// WakeHook, if set, overrides HMP wake placement: it returns the core
-	// type a waking task should be placed on. Pinned tasks ignore it.
+	// type a waking task should be placed on. Pinned tasks ignore it. See
+	// TickHook for the hook-chaining contract.
 	WakeHook func(t *Task) platform.CoreType
 
 	// EnergyModel, if set, returns the marginal active power (mW) of a core
@@ -211,6 +236,7 @@ func (s *System) NewTask(name string, speedup float64) *Task {
 		ID:      len(s.tasks),
 		Name:    name,
 		Speedup: speedup,
+		sys:     s,
 		tracker: pelt.NewTracker(s.Cfg.HalfLifeMs),
 		cpu:     -1,
 		pinned:  -1,
@@ -391,7 +417,20 @@ func (s *System) Push(t *Task, cycles float64) {
 	t.cpu = c.id
 	t.lastCPU = c.id
 	s.sync(c, now)
-	if s.Cfg.DeepIdleAfter > 0 && len(c.queue) == 0 && now-c.idleSince > s.Cfg.DeepIdleAfter {
+	deepWake := s.Cfg.DeepIdleAfter > 0 && len(c.queue) == 0 && now-c.idleSince > s.Cfg.DeepIdleAfter
+	if s.Tel != nil {
+		reason := ""
+		if deepWake {
+			reason = telemetry.ReasonDeepIdle
+		}
+		s.Tel.Emit(telemetry.Event{
+			At: now, Kind: telemetry.KindWake,
+			Task: t.ID, TaskName: t.Name,
+			Core: c.id, FromCore: -1, Cluster: s.SoC.Cores[c.id].Cluster,
+			Reason: reason, Value: float64(t.Load()),
+		})
+	}
+	if deepWake {
 		// The core was in deep idle: the task pays the exit latency before
 		// it can be enqueued (cpuidle wake-up cost).
 		t.state = Waking
@@ -559,20 +598,20 @@ func (s *System) hmpMigrate(now event.Time) {
 		switch {
 		case t.Load() > s.Cfg.UpThreshold && tier < 2:
 			if dst := s.pickCPU(platform.TypeForTier(tier+1), t); dst != nil {
-				s.migrate(t, dst, now)
+				s.migrate(t, dst, now, telemetry.ReasonUpThreshold)
 			}
 		case t.Load() < s.Cfg.DownThreshold && tier > 0:
 			if tier == 1 && t.sleepLoad >= float64(s.Cfg.TinyWakeLoad) {
 				continue // burst footprint too large for the tiny tier
 			}
 			if dst := s.pickCPU(platform.TypeForTier(tier-1), t); dst != nil {
-				s.migrate(t, dst, now)
+				s.migrate(t, dst, now, telemetry.ReasonDownThreshold)
 			}
 		}
 	}
 }
 
-func (s *System) migrate(t *Task, dst *cpu, now event.Time) {
+func (s *System) migrate(t *Task, dst *cpu, now event.Time, reason string) {
 	src := s.cpus[t.cpu]
 	if src == dst {
 		return
@@ -584,6 +623,14 @@ func (s *System) migrate(t *Task, dst *cpu, now event.Time) {
 	t.lastCPU = dst.id
 	t.Migrations++
 	dst.queue = append(dst.queue, t)
+	if s.Tel != nil {
+		s.Tel.Emit(telemetry.Event{
+			At: now, Kind: telemetry.KindMigration,
+			Task: t.ID, TaskName: t.Name,
+			Core: dst.id, FromCore: src.id, Cluster: s.SoC.Cores[dst.id].Cluster,
+			Reason: reason, Value: float64(t.Load()),
+		})
+	}
 	s.dispatch(src, now)
 	s.dispatch(dst, now)
 }
@@ -632,7 +679,7 @@ func (s *System) balance(now event.Time) {
 		if t == nil {
 			continue
 		}
-		s.migrate(t, c, now)
+		s.migrate(t, c, now, telemetry.ReasonBalance)
 		t.Migrations-- // intra-cluster moves are not HMP migrations
 	}
 }
@@ -651,6 +698,14 @@ func (s *System) rotate(now event.Time) {
 			copy(c.queue, c.queue[1:])
 			c.queue[len(c.queue)-1] = head
 			c.sliceUsed = 0
+			if s.Tel != nil {
+				s.Tel.Emit(telemetry.Event{
+					At: now, Kind: telemetry.KindPreempt,
+					Task: head.ID, TaskName: head.Name,
+					Core: c.id, FromCore: -1, Cluster: s.SoC.Cores[c.id].Cluster,
+					Reason: telemetry.ReasonSlice,
+				})
+			}
 		}
 	}
 }
@@ -667,7 +722,7 @@ func (s *System) MoveToType(t *Task, typ platform.CoreType) {
 		return
 	}
 	if dst := s.pickCPU(typ, t); dst != nil {
-		s.migrate(t, dst, s.Eng.Now())
+		s.migrate(t, dst, s.Eng.Now(), telemetry.ReasonPolicy)
 	}
 }
 
@@ -697,10 +752,24 @@ func (s *System) SetCoreOnline(id int, online bool) error {
 			return err
 		}
 		c.idleSince = now
+		if s.Tel != nil {
+			s.Tel.Emit(telemetry.Event{
+				At: now, Kind: telemetry.KindHotplug,
+				Task: -1, Core: id, FromCore: -1, Cluster: s.SoC.Cores[id].Cluster,
+				Reason: telemetry.ReasonOnline,
+			})
+		}
 		return nil
 	}
 	if err := s.SoC.SetOnline(id, false); err != nil {
 		return err
+	}
+	if s.Tel != nil {
+		s.Tel.Emit(telemetry.Event{
+			At: now, Kind: telemetry.KindHotplug,
+			Task: -1, Core: id, FromCore: -1, Cluster: s.SoC.Cores[id].Cluster,
+			Reason: telemetry.ReasonOffline,
+		})
 	}
 	// Evict the queue: prefer a same-type online core, else any online core.
 	for len(c.queue) > 0 {
@@ -721,7 +790,7 @@ func (s *System) SetCoreOnline(id int, online bool) error {
 			return nil
 		}
 		t.pinned = -1 // hotplug breaks affinity
-		s.migrate(t, dst, now)
+		s.migrate(t, dst, now, telemetry.ReasonHotplug)
 		t.Migrations--
 	}
 	s.dispatch(c, now)
@@ -734,10 +803,18 @@ func (s *System) SetCoreOnline(id int, online bool) error {
 func (s *System) SetClusterFreq(clusterID, mhz int) int {
 	now := s.Eng.Now()
 	cl := &s.SoC.Clusters[clusterID]
+	prev := cl.CurMHz
 	for _, id := range cl.CoreIDs {
 		s.sync(s.cpus[id], now)
 	}
 	got := s.SoC.SetFreq(clusterID, mhz)
+	if s.Tel != nil && got != prev {
+		s.Tel.Emit(telemetry.Event{
+			At: now, Kind: telemetry.KindFreq,
+			Task: -1, Core: -1, FromCore: -1, Cluster: clusterID,
+			PrevMHz: prev, MHz: got,
+		})
+	}
 	for _, id := range cl.CoreIDs {
 		s.dispatch(s.cpus[id], now)
 	}

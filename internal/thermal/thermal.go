@@ -12,6 +12,7 @@ import (
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 )
 
 // Params configures the thermal model.
@@ -51,6 +52,12 @@ func Default() Params {
 // Model tracks per-cluster temperature and applies throttling.
 type Model struct {
 	Par Params
+
+	// Tel, when non-nil, receives a KindThrottle event for every cap step
+	// (Reason throttle/release, MHz the new cap with 0 = fully released,
+	// Value the cluster temperature). Emergency hotplug transitions are
+	// emitted by sched.SetCoreOnline as KindHotplug events.
+	Tel *telemetry.Collector
 
 	sys      *sched.System
 	pw       power.Params
@@ -141,6 +148,13 @@ func (m *Model) onSample(now event.Time) {
 				cl.CapMHz = newCap
 				m.sys.SetClusterFreq(ci, cl.CurMHz) // re-clamp under the new cap
 				m.Events++
+				if m.Tel != nil {
+					m.Tel.Emit(telemetry.Event{
+						At: now, Kind: telemetry.KindThrottle,
+						Task: -1, Core: -1, FromCore: -1, Cluster: ci,
+						MHz: newCap, Reason: telemetry.ReasonThrottle, Value: m.TempC[ci],
+					})
+				}
 			}
 		case m.TempC[ci] < m.Par.ClearC && cl.CapMHz > 0:
 			newCap := cl.CapMHz + 100
@@ -150,6 +164,13 @@ func (m *Model) onSample(now event.Time) {
 				cl.CapMHz = newCap
 			}
 			m.Events++
+			if m.Tel != nil {
+				m.Tel.Emit(telemetry.Event{
+					At: now, Kind: telemetry.KindThrottle,
+					Task: -1, Core: -1, FromCore: -1, Cluster: ci,
+					MHz: cl.CapMHz, Reason: telemetry.ReasonRelease, Value: m.TempC[ci],
+				})
+			}
 		}
 		if cl.CapMHz > 0 && cl.CapMHz < cl.MaxMHz() {
 			throttledNow = true

@@ -15,6 +15,7 @@ import (
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 )
 
 // Sample is one scheduler tick's snapshot.
@@ -24,7 +25,16 @@ type Sample struct {
 	TaskOnCore []int
 	// ClusterMHz[i] is cluster i's frequency.
 	ClusterMHz []int
+	// RunQueue[i] is the run-queue depth of core i (running + waiting).
+	RunQueue []int
 }
+
+// DefaultMaxSamples bounds recorder memory when `to` is zero (record until
+// the run ends): roughly two minutes of 1 ms ticks, ~25 MB on an 8-core
+// platform. Once full, the oldest quarter is discarded in one copy, so the
+// recorder always holds approximately the most recent MaxSamples ticks at
+// amortized O(1) cost per tick.
+const DefaultMaxSamples = 120_000
 
 // Recorder captures one Sample per scheduler tick via the system's
 // TickHook (chaining any hook already installed).
@@ -33,13 +43,22 @@ type Recorder struct {
 	from    event.Time
 	to      event.Time
 	Samples []Sample
+	// MaxSamples caps the in-memory sample window (DefaultMaxSamples when
+	// zero, negative = unbounded). When the cap is reached the oldest
+	// quarter of the window is dropped, keeping the most recent samples.
+	MaxSamples int
+	// Dropped counts samples discarded because of MaxSamples.
+	Dropped int
+	// Tel, when non-nil, lets ChromeTrace add instant events (migrations,
+	// boosts) and a power counter track from the telemetry event log.
+	Tel *telemetry.Collector
 	// names caches task names by ID for rendering.
 	names map[int]string
 }
 
 // Attach installs a recorder on sys capturing ticks in [from, to). A zero
-// `to` records until the run ends — beware memory on long runs (one sample
-// per core per millisecond).
+// `to` records until the run ends; memory is bounded by MaxSamples
+// (DefaultMaxSamples unless overridden), keeping the most recent window.
 func Attach(sys *sched.System, from, to event.Time) *Recorder {
 	r := &Recorder{sys: sys, from: from, to: to, names: map[int]string{}}
 	prev := sys.TickHook
@@ -56,14 +75,29 @@ func (r *Recorder) capture(now event.Time) {
 	if now < r.from || (r.to > 0 && now >= r.to) {
 		return
 	}
+	if max := r.MaxSamples; max >= 0 {
+		if max == 0 {
+			max = DefaultMaxSamples
+		}
+		if len(r.Samples) >= max {
+			drop := max / 4
+			if drop < 1 {
+				drop = 1
+			}
+			r.Samples = append(r.Samples[:0], r.Samples[drop:]...)
+			r.Dropped += drop
+		}
+	}
 	soc := r.sys.SoC
 	s := Sample{
 		At:         now,
 		TaskOnCore: make([]int, len(soc.Cores)),
 		ClusterMHz: make([]int, len(soc.Clusters)),
+		RunQueue:   make([]int, len(soc.Cores)),
 	}
 	for i := range s.TaskOnCore {
 		s.TaskOnCore[i] = -1
+		s.RunQueue[i] = r.sys.QueueLen(i)
 	}
 	for _, t := range r.sys.Tasks() {
 		if t.CurState() == sched.Running {
@@ -202,19 +236,25 @@ func (r *Recorder) Residency() map[string]map[platform.CoreType]float64 {
 	return out
 }
 
-// chromeEvent is one Chrome trace-event ("X" complete events), so recorded
-// timelines open directly in chrome://tracing or Perfetto.
+// chromeEvent is one Chrome trace-event ("X" complete slices, "i" instants,
+// "C" counters), so recorded timelines open directly in chrome://tracing or
+// Perfetto.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope, "i" only
+	Args map[string]any `json:"args,omitempty"` // counter values, instant detail
 }
 
 // ChromeTrace renders the recorded window as Chrome trace-event JSON: one
-// track per core (tid = core id), one slice per contiguous run of a task.
+// track per core (tid = core id), one slice per contiguous run of a task,
+// plus counter tracks for per-cluster MHz and total runnable tasks. When Tel
+// is set, it also carries a power (mW) counter track and instant events for
+// every migration and boost in the recorded window.
 func (r *Recorder) ChromeTrace() ([]byte, error) {
 	var events []chromeEvent
 	if len(r.Samples) > 0 {
@@ -245,6 +285,88 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 				}
 			}
 			flush(len(r.Samples))
+		}
+
+		// Counter tracks, emitted on change only: per-cluster frequency and
+		// total runnable tasks across all cores.
+		soc := r.sys.SoC
+		lastMHz := make([]int, len(soc.Clusters))
+		for i := range lastMHz {
+			lastMHz[i] = -1
+		}
+		lastRunnable := -1
+		for _, s := range r.Samples {
+			for ci, f := range s.ClusterMHz {
+				if f != lastMHz[ci] {
+					lastMHz[ci] = f
+					events = append(events, chromeEvent{
+						Name: fmt.Sprintf("%s MHz", soc.Clusters[ci].Type),
+						Ph:   "C",
+						Ts:   float64(s.At) / 1000,
+						PID:  1,
+						TID:  nCores + ci,
+						Args: map[string]any{"MHz": f},
+					})
+				}
+			}
+			runnable := 0
+			for _, q := range s.RunQueue {
+				runnable += q
+			}
+			if runnable != lastRunnable {
+				lastRunnable = runnable
+				events = append(events, chromeEvent{
+					Name: "runnable tasks",
+					Ph:   "C",
+					Ts:   float64(s.At) / 1000,
+					PID:  1,
+					TID:  nCores + len(soc.Clusters),
+					Args: map[string]any{"tasks": runnable},
+				})
+			}
+		}
+
+		// Telemetry enrichment: instant events on the core tracks plus a
+		// power counter track, limited to the recorded window.
+		if r.Tel != nil {
+			lo := r.Samples[0].At
+			hi := r.Samples[len(r.Samples)-1].At + event.Millisecond
+			for _, ev := range r.Tel.Events() {
+				if ev.At < lo || ev.At >= hi {
+					continue
+				}
+				switch ev.Kind {
+				case telemetry.KindMigration:
+					events = append(events, chromeEvent{
+						Name: fmt.Sprintf("migrate %s (%s)", ev.TaskName, ev.Reason),
+						Ph:   "i",
+						Ts:   float64(ev.At) / 1000,
+						PID:  1,
+						TID:  ev.Core,
+						S:    "t",
+						Args: map[string]any{"from": ev.FromCore, "to": ev.Core, "reason": ev.Reason},
+					})
+				case telemetry.KindBoost:
+					events = append(events, chromeEvent{
+						Name: fmt.Sprintf("boost %s", ev.TaskName),
+						Ph:   "i",
+						Ts:   float64(ev.At) / 1000,
+						PID:  1,
+						TID:  ev.Core,
+						S:    "t",
+						Args: map[string]any{"load": ev.Value},
+					})
+				case telemetry.KindPower:
+					events = append(events, chromeEvent{
+						Name: "power mW",
+						Ph:   "C",
+						Ts:   float64(ev.At) / 1000,
+						PID:  1,
+						TID:  nCores + len(soc.Clusters) + 1,
+						Args: map[string]any{"mW": ev.Value},
+					})
+				}
+			}
 		}
 	}
 	return json.Marshal(struct {

@@ -1,12 +1,14 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 )
 
 func rig() (*event.Engine, *sched.System) {
@@ -170,4 +172,194 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestMaxSamplesBoundsMemory(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 0)
+	r.MaxSamples = 100
+	eng.Run(event.Second) // 1000 ticks at 1 ms
+
+	if len(r.Samples) > 100 {
+		t.Fatalf("recorder holds %d samples, cap 100", len(r.Samples))
+	}
+	if r.Dropped == 0 {
+		t.Fatal("no samples dropped over a 10x-cap run")
+	}
+	if len(r.Samples)+r.Dropped < 990 {
+		t.Fatalf("kept %d + dropped %d should account for ~1000 ticks",
+			len(r.Samples), r.Dropped)
+	}
+	// The newest samples are the ones retained.
+	last := r.Samples[len(r.Samples)-1].At
+	if last < 990*event.Millisecond {
+		t.Fatalf("last kept sample at %v, want near 1 s", last)
+	}
+	for i := 1; i < len(r.Samples); i++ {
+		if r.Samples[i].At <= r.Samples[i-1].At {
+			t.Fatal("samples out of order after ring drops")
+		}
+	}
+}
+
+func TestUnboundedWhenNegative(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 0)
+	r.MaxSamples = -1
+	eng.Run(500 * event.Millisecond)
+	if r.Dropped != 0 || len(r.Samples) < 499 {
+		t.Fatalf("unbounded recorder dropped %d, kept %d", r.Dropped, len(r.Samples))
+	}
+}
+
+func TestCapturesRunQueueDepth(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 50*event.Millisecond)
+	for i := 0; i < 3; i++ {
+		task := sys.NewTask("rq.task", 1)
+		task.Pin(2)
+		sys.Push(task, 1e12)
+	}
+	eng.Run(50 * event.Millisecond)
+
+	deep := false
+	for _, s := range r.Samples {
+		if len(s.RunQueue) != len(sys.SoC.Cores) {
+			t.Fatalf("RunQueue has %d entries", len(s.RunQueue))
+		}
+		if s.RunQueue[2] >= 3 {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Fatal("3 pinned tasks never observed on core 2's run queue")
+	}
+}
+
+// chromeDoc mirrors the trace-event JSON for round-trip assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   *float64       `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  *int           `json:"pid"`
+		TID  *int           `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceSchemaRoundTrip(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 100*event.Millisecond)
+	tel := telemetry.NewCollector()
+	sys.Tel = tel
+	r.Tel = tel
+	task := sys.NewTask("schema.task", 1)
+	task.Pin(1)
+	sys.Push(task, 1e12)
+	eng.Run(100 * event.Millisecond)
+
+	data, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	lastTs := map[[2]int]float64{}
+	phs := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Ts == nil || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event missing schema fields: %+v", ev)
+		}
+		phs[ev.Ph]++
+		if ev.Ph == "i" && ev.S == "" {
+			t.Fatalf("instant event without scope: %+v", ev)
+		}
+		if ev.Ph == "C" && len(ev.Args) == 0 {
+			t.Fatalf("counter event without args: %+v", ev)
+		}
+		// Timestamps must be monotonic within each (ph-class, track): slices
+		// per core track, counters per counter track.
+		if ev.Ph == "X" || ev.Ph == "C" {
+			key := [2]int{*ev.TID, map[string]int{"X": 0, "C": 1}[ev.Ph]}
+			if prev, ok := lastTs[key]; ok && *ev.Ts < prev {
+				t.Fatalf("track tid=%d ph=%s goes backwards: %v after %v",
+					*ev.TID, ev.Ph, *ev.Ts, prev)
+			}
+			lastTs[key] = *ev.Ts
+		}
+	}
+	if phs["X"] == 0 {
+		t.Fatal("no complete slices")
+	}
+	if phs["C"] == 0 {
+		t.Fatal("no counter events (cluster MHz / runnable tasks)")
+	}
+}
+
+func TestChromeTraceCounterTracks(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 100*event.Millisecond)
+	task := sys.NewTask("ctr.task", 1)
+	task.Pin(5)
+	sys.Push(task, 1e12)
+	eng.Run(100 * event.Millisecond)
+
+	data, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{`"little MHz"`, `"big MHz"`, `"runnable tasks"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing counter track %s", want)
+		}
+	}
+}
+
+func TestChromeTraceTelemetryInstants(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 100*event.Millisecond)
+	tel := telemetry.NewCollector()
+	r.Tel = tel
+	eng.Run(100 * event.Millisecond)
+
+	// Synthesize telemetry inside and outside the recorded window; only the
+	// in-window events may appear.
+	tel.Emit(telemetry.Event{At: 50 * event.Millisecond, Kind: telemetry.KindMigration,
+		Task: 1, TaskName: "mover", FromCore: 0, Core: 4, Cluster: -1,
+		Reason: telemetry.ReasonUpThreshold})
+	tel.Emit(telemetry.Event{At: 60 * event.Millisecond, Kind: telemetry.KindBoost,
+		Task: 1, TaskName: "mover", FromCore: -1, Core: 4, Cluster: -1, Value: 900})
+	tel.Emit(telemetry.Event{At: 70 * event.Millisecond, Kind: telemetry.KindPower,
+		Task: -1, Core: -1, FromCore: -1, Cluster: -1, Value: 1234.5})
+	tel.Emit(telemetry.Event{At: 5 * event.Second, Kind: telemetry.KindMigration,
+		Task: 2, TaskName: "outside", FromCore: 1, Core: 5, Cluster: -1,
+		Reason: telemetry.ReasonUpThreshold})
+
+	data, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, `"migrate mover (up-threshold)"`) {
+		t.Fatalf("migration instant missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"boost mover"`) {
+		t.Fatal("boost instant missing")
+	}
+	if !strings.Contains(out, `"power mW"`) {
+		t.Fatal("power counter track missing")
+	}
+	if strings.Contains(out, "outside") {
+		t.Fatal("event beyond the recorded window leaked into the trace")
+	}
 }

@@ -1,0 +1,198 @@
+package biglittle_test
+
+import (
+	"testing"
+
+	"biglittle"
+)
+
+// TestTelemetryCrossValidation checks the event log against the two
+// independent accountings of the same seeded run: the scheduler's own
+// per-task migration counters (exact match required) and the trace
+// recorder's tick-sampled timeline (a lower bound, since 1 ms sampling can
+// miss sub-tick placements).
+func TestTelemetryCrossValidation(t *testing.T) {
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 5 * biglittle.Second
+	cfg.Seed = 3
+
+	tel := biglittle.NewTelemetry()
+	tel.MaxEvents = -1 // keep everything; this run is short
+	cfg.Telemetry = tel
+
+	var rec *biglittle.TraceRecorder
+	cfg.OnSystem = func(sys *biglittle.SchedSystem) {
+		rec = biglittle.AttachTrace(sys, 0, 0)
+	}
+	res := biglittle.Run(cfg)
+
+	// Exact: telemetry's HMP view (up/down/policy) equals the scheduler's
+	// per-task counters aggregated into the Result.
+	if got, want := tel.HMPMigrations(), int64(res.HMPMigrations); got != want {
+		t.Fatalf("telemetry HMP migrations %d != Result.HMPMigrations %d", got, want)
+	}
+	if res.HMPMigrations == 0 {
+		t.Fatal("bbench run produced no migrations; cross-validation is vacuous")
+	}
+
+	// Lower bound: tier changes visible in the 1 ms-sampled timeline cannot
+	// exceed the exact transition count (migrations plus wake placements,
+	// either of which can move a task across tiers).
+	tierOf := func(core int) int {
+		// Exynos 5422: cores 0-3 little, 4-7 big.
+		if core >= 4 {
+			return 1
+		}
+		return 0
+	}
+	lastTier := map[int]int{}
+	derived := int64(0)
+	for _, s := range rec.Samples {
+		for core, id := range s.TaskOnCore {
+			if id < 0 {
+				continue
+			}
+			tier := tierOf(core)
+			if prev, ok := lastTier[id]; ok && prev != tier {
+				derived++
+			}
+			lastTier[id] = tier
+		}
+	}
+	exact := tel.Count(biglittle.EvMigration) + tel.Count(biglittle.EvWake)
+	if derived == 0 {
+		t.Fatal("recorder never observed a tier change")
+	}
+	if derived > exact {
+		t.Fatalf("recorder-derived tier changes %d exceed exact event count %d",
+			derived, exact)
+	}
+}
+
+// TestTelemetryEventCoverage checks that every subsystem actually publishes:
+// scheduler wakes/migrations, governor decisions, frequency transitions, and
+// power snapshots all appear in one default run.
+func TestTelemetryEventCoverage(t *testing.T) {
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 5 * biglittle.Second
+	cfg.Seed = 1
+	tel := biglittle.NewTelemetry()
+	cfg.Telemetry = tel
+	biglittle.Run(cfg)
+
+	for _, k := range []biglittle.TelemetryKind{
+		biglittle.EvMigration, biglittle.EvWake, biglittle.EvFreq,
+		biglittle.EvGovernor, biglittle.EvPower,
+	} {
+		if tel.Count(k) == 0 {
+			t.Errorf("no %v events recorded", k)
+		}
+	}
+	// Governor decisions carry the triggering utilization and frequency step.
+	for _, ev := range tel.Events() {
+		if ev.Kind != biglittle.EvGovernor {
+			continue
+		}
+		if ev.MHz == ev.PrevMHz {
+			t.Fatalf("governor event without a frequency change: %+v", ev)
+		}
+		if ev.Cluster < 0 {
+			t.Fatalf("governor event without a cluster: %+v", ev)
+		}
+		break
+	}
+
+	// An FPS app populates the frame-time histogram.
+	fps, _ := biglittle.AppByName("angry_bird")
+	fcfg := biglittle.DefaultConfig(fps)
+	fcfg.Duration = 5 * biglittle.Second
+	ftel := biglittle.NewTelemetry()
+	fcfg.Telemetry = ftel
+	biglittle.Run(fcfg)
+	if ftel.Histogram("frame_time_ms").Count() == 0 {
+		t.Error("frame_time_ms histogram empty for an FPS app")
+	}
+}
+
+// TestTelemetryDeterminism: identical seeds produce identical event streams.
+func TestTelemetryDeterminism(t *testing.T) {
+	run := func() *biglittle.Telemetry {
+		app, _ := biglittle.AppByName("browser")
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = 3 * biglittle.Second
+		cfg.Seed = 42
+		tel := biglittle.NewTelemetry()
+		cfg.Telemetry = tel
+		biglittle.Run(cfg)
+		return tel
+	}
+	a, b := run(), run()
+	if a.TotalEvents() != b.TotalEvents() {
+		t.Fatalf("event totals differ across identical runs: %d vs %d",
+			a.TotalEvents(), b.TotalEvents())
+	}
+	ae, be := a.Events(), b.Events()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+// TestTelemetryLatencyHistogram: a latency app feeds latency_ms.
+func TestTelemetryLatencyHistogram(t *testing.T) {
+	app, _ := biglittle.AppByName("bbench")
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 5 * biglittle.Second
+	tel := biglittle.NewTelemetry()
+	cfg.Telemetry = tel
+	res := biglittle.Run(cfg)
+
+	h := tel.Histogram("latency_ms")
+	if h.Count() != res.Interactions {
+		t.Fatalf("latency histogram has %d observations, Result has %d interactions",
+			h.Count(), res.Interactions)
+	}
+	if h.Count() > 0 && h.Quantile(0.95) < h.Quantile(0.50) {
+		t.Fatal("p95 below p50")
+	}
+}
+
+// runForOverhead is the benchmark body shared by the telemetry on/off pair.
+func runForOverhead(tel *biglittle.Telemetry) biglittle.Result {
+	app, _ := biglittle.AppByName("eternity_warrior")
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 4 * biglittle.Second
+	cfg.Seed = 1
+	cfg.Telemetry = tel
+	return biglittle.Run(cfg)
+}
+
+// BenchmarkTelemetryOff is the baseline: a nil collector, so every emit site
+// reduces to one pointer check. Compare with BenchmarkTelemetryOn; the delta
+// must stay under a few percent (the tentpole's <3% overhead budget).
+func BenchmarkTelemetryOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runForOverhead(nil)
+	}
+}
+
+// BenchmarkTelemetryOn measures a fully-enabled collector with the default
+// bounded event buffer.
+func BenchmarkTelemetryOn(b *testing.B) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		tel := biglittle.NewTelemetry()
+		runForOverhead(tel)
+		events = tel.TotalEvents()
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
