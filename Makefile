@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench report quick-report cover fmt vet all
+.PHONY: build test test-race bench bench-smoke serve-smoke report quick-report cover fmt vet all
 
 all: build vet test test-race
 
@@ -15,6 +15,25 @@ test-race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark — catches bit-rot without timing anything.
+bench-smoke:
+	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Boot blserve on a short free-running session and assert the observability
+# endpoints actually serve: Prometheus text with per-task gauges, and a JSON
+# snapshot with an attribution table.
+serve-smoke:
+	go build -o /tmp/blserve ./cmd/blserve
+	/tmp/blserve -addr 127.0.0.1:9814 -phases browser:2s -repeat 1 -speed 0 & \
+		pid=$$!; \
+		sleep 2; \
+		ok=0; \
+		curl -fsS 127.0.0.1:9814/metrics | grep -q '^biglittle_task_' && \
+		curl -fsS 127.0.0.1:9814/metrics | grep -q 'quantile=' && \
+		curl -fsS 127.0.0.1:9814/snapshot | grep -q '"tasks"' && ok=1; \
+		kill -INT $$pid; wait $$pid; \
+		[ $$ok -eq 1 ] && echo "serve-smoke: OK"
 
 # Regenerate every paper table/figure plus the extension studies (~30s).
 report:

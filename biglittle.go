@@ -31,6 +31,7 @@ import (
 	"biglittle/internal/governor"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
+	"biglittle/internal/profile"
 	"biglittle/internal/sched"
 	"biglittle/internal/session"
 	"biglittle/internal/spec"
@@ -252,6 +253,23 @@ const (
 // event-ring capacity.
 func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
 
+// Profiler is the streaming per-task attribution profiler. Set one as
+// Config.Profiler (or SessionConfig.Profiler) to attribute run/wait time by
+// core type, frequency residency, system energy, and migrations to
+// individual tasks. A nil *Profiler disables attribution at the cost of one
+// pointer check per scheduler event.
+type Profiler = profile.Profiler
+
+// ProfileSnapshot is a consistent point-in-time view of the profiler's
+// attribution tables; take one with Profiler.Snapshot.
+type ProfileSnapshot = profile.Snapshot
+
+// TaskProfile is one task's row of a ProfileSnapshot.
+type TaskProfile = profile.TaskSnapshot
+
+// NewProfiler creates an enabled per-task attribution profiler.
+func NewProfiler() *Profiler { return profile.New() }
+
 // SchedulerKind selects the thread-to-core mapping policy (§IV-A).
 type SchedulerKind = core.SchedulerKind
 
@@ -312,6 +330,15 @@ func RunSession(cfg SessionConfig) SessionResult { return session.Run(cfg) }
 
 // RenderSession formats a session result.
 func RenderSession(r SessionResult) string { return session.Render(r) }
+
+// LiveSession is an incrementally-advanced session: the same assembly and
+// phase sequencing as RunSession, but the caller controls how far simulated
+// time moves on each Advance call. cmd/blserve uses it to pace a session
+// against the wall clock while serving observability endpoints.
+type LiveSession = session.Live
+
+// NewLiveSession assembles a session ready to Advance.
+func NewLiveSession(cfg SessionConfig) *LiveSession { return session.NewLive(cfg) }
 
 // GalaxyS5Pack returns the paper device's battery.
 func GalaxyS5Pack() battery.Pack { return battery.GalaxyS5() }

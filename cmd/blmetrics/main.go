@@ -8,6 +8,7 @@
 //
 //	blmetrics -app bbench -duration 30s
 //	blmetrics -app angry_birds -csv events.csv -json metrics.json
+//	blmetrics -app youtube -prom -        # Prometheus text format to stdout
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		duration = flag.Duration("duration", 30*time.Second, "simulated run duration")
 		csvPath  = flag.String("csv", "", "write the raw event log as CSV")
 		jsonPath = flag.String("json", "", "write events + metric registries as JSON")
+		promPath = flag.String("prom", "", "write the metric registries in Prometheus text format (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -83,5 +85,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *jsonPath, len(data))
+	}
+	if *promPath != "" {
+		out := os.Stdout
+		if *promPath != "-" {
+			f, err := os.Create(*promPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := tel.WritePrometheus(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *promPath != "-" {
+			fmt.Printf("wrote %s\n", *promPath)
+		}
 	}
 }

@@ -1,0 +1,257 @@
+// Command blserve drives a long-running multi-app session and serves its
+// observability surface over HTTP while the simulation advances: Prometheus
+// metrics from the telemetry registry and the per-task profiler, JSON
+// attribution snapshots, per-task drill-down, and Go pprof. Simulated time
+// is paced against the wall clock (-speed) so dashboards see a live system
+// rather than an instant replay.
+//
+// Usage:
+//
+//	blserve -phases browser:20s,video_player:20s -speed 4
+//	curl localhost:8377/metrics        # Prometheus text format
+//	curl localhost:8377/snapshot       # JSON attribution tables
+//	curl localhost:8377/tasks/render   # one task's attribution row
+//
+// SIGINT stops the simulation, shuts the server down, and prints a final
+// telemetry and attribution summary.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"biglittle"
+)
+
+// step is how far simulated time advances per scheduler turn of the sim
+// loop; HTTP readers see state at most one step stale.
+const step = 100 * biglittle.Millisecond
+
+// server owns the live session and serializes simulation advancement
+// against HTTP reads.
+type server struct {
+	mu   sync.Mutex
+	live *biglittle.LiveSession
+	tel  *biglittle.Telemetry
+	prof *biglittle.Profiler
+	done bool
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8377", "HTTP listen address")
+		phasesArg = flag.String("phases", "browser:10s,video_player:10s",
+			"comma-separated app:duration phases")
+		seed   = flag.Int64("seed", 1, "workload random seed")
+		speed  = flag.Float64("speed", 1.0, "simulated seconds per wall second (0 = free-run)")
+		repeat = flag.Int("repeat", 0, "times to repeat the phase list (0 = forever)")
+	)
+	flag.Parse()
+
+	phases, err := parsePhases(*phasesArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reps := *repeat
+	if reps <= 0 {
+		reps = 10_000 // "forever" at human time scales; ~a month of sim time
+	}
+	var all []biglittle.SessionPhase
+	for i := 0; i < reps; i++ {
+		all = append(all, phases...)
+	}
+
+	cfg := biglittle.NewSession(all...)
+	cfg.Seed = *seed
+	tel := biglittle.NewTelemetry()
+	prof := biglittle.NewProfiler()
+	cfg.Telemetry = tel
+	cfg.Profiler = prof
+
+	s := &server{live: biglittle.NewLiveSession(cfg), tel: tel, prof: prof}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/tasks/", s.handleTask)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("blserve: listening on http://%s (phases %s, speed %gx, seed %d)\n",
+		*addr, *phasesArg, *speed, *seed)
+
+	s.simLoop(ctx, *speed)
+
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(shctx)
+
+	// Final report: the event-level summary and the attribution table.
+	s.mu.Lock()
+	now := s.live.Now()
+	snap := s.prof.Snapshot(now)
+	s.mu.Unlock()
+	fmt.Printf("\nblserve: stopped at sim t=%v\n\n", now)
+	fmt.Print(tel.Summary(now))
+	fmt.Println()
+	fmt.Print(snap.Summary())
+}
+
+// simLoop advances the session in fixed sim-time steps, sleeping between
+// steps to hold the requested sim/wall ratio, until the session completes or
+// ctx is cancelled.
+func (s *server) simLoop(ctx context.Context, speed float64) {
+	var wallStep time.Duration
+	if speed > 0 {
+		wallStep = time.Duration(float64(step) / speed)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		s.mu.Lock()
+		done := s.live.Advance(s.live.Now() + step)
+		s.done = done
+		s.mu.Unlock()
+		if done {
+			fmt.Println("blserve: session complete; serving final state until interrupted")
+			<-ctx.Done()
+			return
+		}
+		if wallStep > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wallStep):
+			}
+		}
+	}
+}
+
+func parsePhases(arg string) ([]biglittle.SessionPhase, error) {
+	var phases []biglittle.SessionPhase
+	for _, part := range strings.Split(arg, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad phase %q (want app:duration)", part)
+		}
+		app, err := biglittle.AppByName(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("phase %q: duration must be positive", part)
+		}
+		phases = append(phases, biglittle.SessionPhase{
+			App: app, Duration: biglittle.Time(d.Nanoseconds()),
+		})
+	}
+	return phases, nil
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	now, phase := s.live.Now(), s.live.Phase()
+	if s.done {
+		phase = "(complete)"
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, `blserve: live big.LITTLE simulation (sim t=%v, phase %q)
+
+endpoints:
+  /metrics        Prometheus text format (telemetry registry + per-task profiler)
+  /snapshot       JSON attribution tables (run/wait by core type, residency, energy, migrations)
+  /tasks/<name>   one task's attribution row
+  /debug/pprof/   Go pprof
+`, now, phase)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	now := s.live.Now()
+	phase := s.live.Phase()
+	snap := s.prof.Snapshot(now)
+	var b strings.Builder
+	s.tel.WritePrometheus(&b)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# TYPE biglittle_sim_seconds gauge\nbiglittle_sim_seconds %g\n", now.Seconds())
+	fmt.Fprintf(w, "# TYPE biglittle_sim_phase_info gauge\nbiglittle_sim_phase_info{phase=%q} 1\n", phase)
+	fmt.Fprint(w, b.String())
+	snap.WritePrometheus(w)
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	now := s.live.Now()
+	phase := s.live.Phase()
+	snap := s.prof.Snapshot(now)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		SimNs   biglittle.Time            `json:"sim_ns"`
+		Phase   string                    `json:"phase,omitempty"`
+		Profile biglittle.ProfileSnapshot `json:"profile"`
+	}{now, phase, snap})
+}
+
+func (s *server) handleTask(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/tasks/")
+	if name == "" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	snap := s.prof.Snapshot(s.live.Now())
+	s.mu.Unlock()
+
+	t, ok := snap.Task(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no task %q; see /snapshot for the full table", name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(t)
+}

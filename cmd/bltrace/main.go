@@ -85,7 +85,7 @@ func main() {
 
 	fmt.Print(rec.Render(*width))
 
-	fmt.Println("\nper-thread core-type residency in window:")
+	fmt.Println("\nper-thread core-type residency and runnable-wait in window:")
 	res := rec.Residency()
 	names := make([]string, 0, len(res))
 	for name := range res {
@@ -93,9 +93,14 @@ func main() {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		tr := res[name]
 		fmt.Printf("  %-20s", name)
-		for typ, frac := range res[name] {
+		for typ, frac := range tr.Run {
 			fmt.Printf(" %v %.0f%%", typ, 100*frac)
+		}
+		if tr.WaitTicks > 0 {
+			fmt.Printf("  (waited %.0f%% of %d on-queue ticks)",
+				100*tr.WaitShare(), tr.RunTicks+tr.WaitTicks)
 		}
 		fmt.Println()
 	}

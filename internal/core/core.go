@@ -17,6 +17,7 @@ import (
 	"biglittle/internal/metrics"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
+	"biglittle/internal/profile"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
 	"biglittle/internal/thermal"
@@ -132,6 +133,13 @@ type Config struct {
 	// disables all recording at near-zero cost.
 	Telemetry *telemetry.Collector
 
+	// Profiler, when non-nil, attributes the run to individual tasks:
+	// run/wait/sleep time split by core type, per-(core type, MHz) frequency
+	// residency, each power interval's energy split across the tasks that
+	// ran in it, and migration accounting. Result.Profile carries the final
+	// snapshot. Nil (the default) disables attribution at near-zero cost.
+	Profiler *profile.Profiler
+
 	// OnSystem, if set, is called with the assembled scheduler system right
 	// before the workload is built — an extension point for attaching trace
 	// recorders or custom policies.
@@ -209,6 +217,10 @@ type Result struct {
 	// Thermal metrics (zero unless Config.Thermal was set).
 	MaxTempC     float64
 	ThrottledPct float64
+
+	// Profile is the per-task attribution snapshot (nil unless
+	// Config.Profiler was set).
+	Profile *profile.Snapshot
 }
 
 // TaskStat is one thread's share of a run.
@@ -251,6 +263,7 @@ func Run(cfg Config) Result {
 	}
 	sys := sched.New(eng, soc, cfg.Sched)
 	sys.Tel = cfg.Telemetry
+	sys.Prof = cfg.Profiler
 	pw := cfg.Power
 	sys.EnergyModel = func(typ platform.CoreType, mhz int) float64 {
 		return pw.CorePowerMW(typ, mhz, 1) - pw.CorePowerMW(typ, mhz, 0)
@@ -293,6 +306,7 @@ func Run(cfg Config) Result {
 
 	sampler := metrics.NewSampler(sys, cfg.Power)
 	sampler.Tel = cfg.Telemetry
+	sampler.Prof = cfg.Profiler
 	sampler.Start()
 
 	var therm *thermal.Model
@@ -385,6 +399,10 @@ func Run(cfg Config) Result {
 	if therm != nil {
 		res.MaxTempC = therm.MaxTempC
 		res.ThrottledPct = therm.ThrottledPct(cfg.Duration)
+	}
+	if cfg.Profiler != nil {
+		snap := cfg.Profiler.Snapshot(cfg.Duration)
+		res.Profile = &snap
 	}
 	return res
 }

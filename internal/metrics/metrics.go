@@ -11,6 +11,7 @@ import (
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
+	"biglittle/internal/profile"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
 )
@@ -63,11 +64,18 @@ type Sampler struct {
 	// every SampleInterval — the Monsoon-style power counter track.
 	Tel *telemetry.Collector
 
+	// Prof, when non-nil, receives every power-model interval's per-core
+	// power terms (the same ones fed to the meter) so it can attribute the
+	// interval's energy to the tasks that ran in it. Nil disables the feed
+	// at the cost of one pointer check per sample.
+	Prof *profile.Profiler
+
 	sys *sched.System
 	pw  power.Params
 
-	lastBusy []event.Time
-	lastDeep []event.Time
+	lastBusy  []event.Time
+	lastDeep  []event.Time
+	profCores []profile.CorePower // reused per-sample buffer for Prof
 
 	// Matrix[b][l] counts samples with exactly b big and l little cores
 	// active (Table IV).
@@ -119,7 +127,12 @@ func (m *Sampler) onSample(now event.Time) {
 	soc := m.sys.SoC
 	little, big := 0, 0
 	clusterActive := map[int]bool{}
-	var loads []power.CoreLoad
+	// Whole-system power accumulates exactly as power.SystemPowerMW would
+	// (base rail first, then each online core in ID order) so the meter
+	// reading is unchanged; keeping the per-core terms lets the profiler
+	// attribute the very same energy the meter integrates.
+	mw := m.pw.BaseMW
+	m.profCores = m.profCores[:0]
 
 	for id := range soc.Cores {
 		core := &soc.Cores[id]
@@ -135,7 +148,11 @@ func (m *Sampler) onSample(now event.Time) {
 		m.lastDeep[id] = deep
 
 		cl := soc.ClusterOf(id)
-		loads = append(loads, power.CoreLoad{Type: core.Type, MHz: cl.CurMHz, Util: util, DeepFrac: deepFrac})
+		cmw := m.pw.CorePowerDeepMW(core.Type, cl.CurMHz, util, deepFrac)
+		mw += cmw
+		if m.Prof != nil {
+			m.profCores = append(m.profCores, profile.CorePower{Core: id, MW: cmw})
+		}
 		m.utilSum[core.Type] += util
 		m.utilCount[core.Type]++
 
@@ -171,8 +188,10 @@ func (m *Sampler) onSample(now event.Time) {
 		}
 	}
 
-	mw := m.pw.SystemPowerMW(loads)
 	m.meter.Add(SampleInterval, mw)
+	if m.Prof != nil {
+		m.Prof.OnPowerInterval(SampleInterval, m.pw.BaseMW, m.profCores)
+	}
 	if m.Tel != nil {
 		m.Tel.Emit(telemetry.Event{
 			At: now, Kind: telemetry.KindPower,

@@ -1,0 +1,127 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Summary renders the snapshot as a per-task text table plus the
+// conservation footer — the report blserve prints on shutdown and
+// examples/profile walks through.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d tasks over %v (%d power intervals)\n",
+		len(s.Tasks), s.ElapsedNs, s.Intervals)
+	if len(s.Tasks) == 0 {
+		return b.String()
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "task\trun ms\tbig ms\tlittle ms\ttiny ms\twait ms\tsleep ms\tenergy mJ\tmigr (hmp ↑/↓)\tstall ms")
+	for _, t := range s.Tasks {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%d (%d %d/%d)\t%.2f\n",
+			t.Name,
+			t.RunNs.Milliseconds(), t.BigRunNs.Milliseconds(),
+			t.LittleRunNs.Milliseconds(), t.TinyRunNs.Milliseconds(),
+			t.WaitNs.Milliseconds(), t.SleepNs.Milliseconds(),
+			t.EnergyMJ,
+			t.Migrations, t.HMPMigrations, t.UpMigrations, t.DownMigrations,
+			t.MigrationStallNs.Milliseconds())
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "energy: %.1f mJ attributed + %.1f mJ unattributed (idle+base) = %.1f mJ total\n",
+		s.AttributedMJ, s.UnattributedMJ, s.TotalEnergyMJ)
+	return b.String()
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders the snapshot's per-task attribution as Prometheus
+// text-format gauges, labelled by task (and core type / MHz where it
+// applies). blserve appends this to the telemetry registry's exposition on
+// /metrics.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	b.WriteString("# HELP biglittle_task_run_seconds Per-task run time split by core type.\n")
+	b.WriteString("# TYPE biglittle_task_run_seconds gauge\n")
+	for _, t := range s.Tasks {
+		name := promEscape(t.Name)
+		fmt.Fprintf(&b, "biglittle_task_run_seconds{task=%q,type=\"big\"} %g\n", name, t.BigRunNs.Seconds())
+		fmt.Fprintf(&b, "biglittle_task_run_seconds{task=%q,type=\"little\"} %g\n", name, t.LittleRunNs.Seconds())
+		if t.TinyRunNs > 0 {
+			fmt.Fprintf(&b, "biglittle_task_run_seconds{task=%q,type=\"tiny\"} %g\n", name, t.TinyRunNs.Seconds())
+		}
+	}
+
+	b.WriteString("# HELP biglittle_task_wait_seconds Per-task runnable-wait (schedstat run_delay).\n")
+	b.WriteString("# TYPE biglittle_task_wait_seconds gauge\n")
+	for _, t := range s.Tasks {
+		fmt.Fprintf(&b, "biglittle_task_wait_seconds{task=%q} %g\n", promEscape(t.Name), t.WaitNs.Seconds())
+	}
+
+	b.WriteString("# HELP biglittle_task_energy_millijoules Per-task attributed system energy.\n")
+	b.WriteString("# TYPE biglittle_task_energy_millijoules gauge\n")
+	for _, t := range s.Tasks {
+		fmt.Fprintf(&b, "biglittle_task_energy_millijoules{task=%q} %g\n", promEscape(t.Name), t.EnergyMJ)
+	}
+
+	b.WriteString("# HELP biglittle_task_migrations_total Per-task migrations by direction.\n")
+	b.WriteString("# TYPE biglittle_task_migrations_total gauge\n")
+	for _, t := range s.Tasks {
+		name := promEscape(t.Name)
+		fmt.Fprintf(&b, "biglittle_task_migrations_total{task=%q,direction=\"up\"} %d\n", name, t.UpMigrations)
+		fmt.Fprintf(&b, "biglittle_task_migrations_total{task=%q,direction=\"down\"} %d\n", name, t.DownMigrations)
+	}
+
+	b.WriteString("# HELP biglittle_task_residency_seconds Per-task run time at each (core type, MHz).\n")
+	b.WriteString("# TYPE biglittle_task_residency_seconds gauge\n")
+	for _, t := range s.Tasks {
+		name := promEscape(t.Name)
+		for _, r := range t.Residency {
+			fmt.Fprintf(&b, "biglittle_task_residency_seconds{task=%q,type=%q,mhz=\"%d\"} %g\n",
+				name, r.Type, r.MHz, r.Ns.Seconds())
+		}
+	}
+
+	b.WriteString("# HELP biglittle_profile_unattributed_millijoules Idle and base-rail energy no task ran under.\n")
+	b.WriteString("# TYPE biglittle_profile_unattributed_millijoules gauge\n")
+	fmt.Fprintf(&b, "biglittle_profile_unattributed_millijoules %g\n", s.UnattributedMJ)
+	fmt.Fprintf(&b, "# TYPE biglittle_profile_attributed_millijoules gauge\nbiglittle_profile_attributed_millijoules %g\n", s.AttributedMJ)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ResidencyPct returns one task's active-time share per frequency of a core
+// type, aligned with freqs — the per-task Figure 9/10 row.
+func (t TaskSnapshot) ResidencyPct(coreType string, freqs []int) []float64 {
+	out := make([]float64, len(freqs))
+	var total float64
+	byMHz := map[int]float64{}
+	for _, r := range t.Residency {
+		if r.Type == coreType {
+			byMHz[r.MHz] = float64(r.Ns)
+			total += float64(r.Ns)
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	idx := make(map[int]int, len(freqs))
+	for i, f := range freqs {
+		idx[f] = i
+	}
+	for mhz, ns := range byMHz {
+		if i, ok := idx[mhz]; ok {
+			out[i] = 100 * ns / total
+		}
+	}
+	return out
+}

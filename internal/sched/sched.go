@@ -17,6 +17,7 @@ import (
 	"biglittle/internal/event"
 	"biglittle/internal/pelt"
 	"biglittle/internal/platform"
+	"biglittle/internal/profile"
 	"biglittle/internal/telemetry"
 )
 
@@ -183,6 +184,12 @@ type System struct {
 	// at the cost of one pointer check per occurrence.
 	Tel *telemetry.Collector
 
+	// Prof, when non-nil, receives per-task attribution streams: every sync
+	// interval's run time (with core type and frequency) and runnable wait,
+	// every wake, and every migration. Nil disables attribution at the cost
+	// of one pointer check per emit site.
+	Prof *profile.Profiler
+
 	// TickHook, if set, runs at the end of every scheduler tick (used by
 	// metrics and tests to observe a consistent state).
 	//
@@ -315,6 +322,14 @@ func (s *System) sync(c *cpu, now event.Time) {
 		head.LittleRanNs += dt
 	}
 	c.busyCum += dt
+	if s.Prof != nil {
+		s.Prof.OnRun(head.ID, head.Name, c.id, c.typ, s.SoC.ClusterOf(c.id).CurMHz, dt, now)
+		// Queue membership is constant between syncs, so the same dt is
+		// exact runnable-wait time for everyone behind the head.
+		for _, w := range c.queue[1:] {
+			s.Prof.OnWait(w.ID, w.Name, dt)
+		}
+	}
 }
 
 // SyncAll advances every cpu to now; callers observing busy time or task
@@ -413,6 +428,9 @@ func (s *System) Push(t *Task, cycles float64) {
 	}
 	t.remaining = cycles
 	t.wokeAt = now
+	if s.Prof != nil {
+		s.Prof.OnWake(t.ID, t.Name, now)
+	}
 	c := s.wakeCPU(t)
 	t.cpu = c.id
 	t.lastCPU = c.id
@@ -623,6 +641,9 @@ func (s *System) migrate(t *Task, dst *cpu, now event.Time, reason string) {
 	t.lastCPU = dst.id
 	t.Migrations++
 	dst.queue = append(dst.queue, t)
+	if s.Prof != nil {
+		s.Prof.OnMigration(t.ID, t.Name, src.typ, dst.typ, reason)
+	}
 	if s.Tel != nil {
 		s.Tel.Emit(telemetry.Event{
 			At: now, Kind: telemetry.KindMigration,

@@ -19,7 +19,9 @@ import (
 	"biglittle/internal/metrics"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
+	"biglittle/internal/profile"
 	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
 	"biglittle/internal/workload"
 )
 
@@ -38,6 +40,17 @@ type Config struct {
 	Gov    governor.InteractiveConfig
 	Power  power.Params
 	Pack   battery.Pack
+
+	// Telemetry, when non-nil, receives scheduler/governor/power events for
+	// the whole session, plus the "latency_ms" and "frame_time_ms"
+	// histograms across all phases. Nil disables recording at near-zero
+	// cost.
+	Telemetry *telemetry.Collector
+	// Profiler, when non-nil, attributes the whole session to individual
+	// tasks (run/wait time by core type, frequency residency, energy,
+	// migrations). Threads live per phase, so the attribution table carries
+	// every phase's threads side by side.
+	Profiler *profile.Profiler
 }
 
 // DefaultConfig returns a session on the paper's baseline platform with the
@@ -83,6 +96,40 @@ func Run(cfg Config) Result {
 	if len(cfg.Phases) == 0 {
 		return Result{}
 	}
+	l := NewLive(cfg)
+	l.Advance(l.Duration())
+	return l.Result()
+}
+
+// Live is an incrementally-advanced session: the same assembly and phase
+// sequencing as Run, but the caller controls how far simulated time moves on
+// each Advance call. This is what cmd/blserve drives, pacing simulated time
+// against the wall clock while HTTP handlers read the attached telemetry
+// collector, profiler, and sampler between steps.
+//
+// Live is not goroutine-safe: Advance and any reads of the attached
+// observers (including Profiler snapshots and telemetry rendering) must be
+// externally serialized.
+type Live struct {
+	Cfg     Config
+	Eng     *event.Engine
+	Sys     *sched.System
+	Sampler *metrics.Sampler
+
+	res        Result
+	rng        *rand.Rand
+	phaseIdx   int        // index of the phase currently running (or next to build)
+	phaseStart event.Time // start time of phase phaseIdx
+	ctx        *workload.Ctx
+	prevEnergy float64
+	prevBig    int
+	prevActive int
+	done       bool
+}
+
+// NewLive assembles the session platform exactly as Run does and returns it
+// ready to Advance. Zero-valued config fields get the same defaults as Run.
+func NewLive(cfg Config) *Live {
 	eng := event.New()
 	soc := platform.Exynos5422()
 	if cfg.Cores.Tiny > 0 {
@@ -104,75 +151,171 @@ func Run(cfg Config) Result {
 		cfg.Pack = battery.GalaxyS5()
 	}
 	sys := sched.New(eng, soc, cfg.Sched)
+	sys.Tel = cfg.Telemetry
+	sys.Prof = cfg.Profiler
 	sys.Start()
-	governor.NewInteractive(sys, cfg.Gov).Start()
+	g := governor.NewInteractive(sys, cfg.Gov)
+	g.Tel = cfg.Telemetry
+	g.Start()
 	sampler := metrics.NewSampler(sys, cfg.Power)
+	sampler.Tel = cfg.Telemetry
+	sampler.Prof = cfg.Profiler
 	sampler.Start()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	var res Result
-	phaseStart := event.Time(0)
-	prevEnergy := 0.0
-	prevBig, prevActive := 0, 0
-	for _, ph := range cfg.Phases {
-		phaseEnd := phaseStart + ph.Duration
-		ctx := &workload.Ctx{
-			Eng:      eng,
-			Sys:      sys,
-			Rng:      rng,
-			Duration: phaseEnd,
-			FPS:      &metrics.FPSTracker{},
-			Lat:      &metrics.LatencyTracker{},
-		}
-		ph.App.Build(ctx)
-		eng.Run(phaseEnd)
+	l := &Live{Cfg: cfg, Eng: eng, Sys: sys, Sampler: sampler}
+	l.rngInit()
+	if len(cfg.Phases) == 0 {
+		l.done = true
+	}
+	return l
+}
 
-		energy := sampler.EnergyMJ()
-		dE := (energy - prevEnergy) / 1000
-		prevEnergy = energy
+// rng is stored on the first phase ctx; keep one source for the session.
+func (l *Live) rngInit() {
+	l.ctx = nil
+	l.rng = rand.New(rand.NewSource(l.Cfg.Seed))
+}
 
-		// Per-phase big-core share from the matrix deltas.
-		big, active := 0, 0
-		for b := 0; b <= 4; b++ {
-			for l := 0; l <= 4; l++ {
-				n := sampler.Matrix[b][l]
-				if b == 0 && l == 0 {
-					continue
-				}
-				active += n
-				if b > 0 {
-					big += n
-				}
+// Duration returns the total session length (the sum of phase durations).
+func (l *Live) Duration() event.Time {
+	var d event.Time
+	for _, ph := range l.Cfg.Phases {
+		d += ph.Duration
+	}
+	return d
+}
+
+// Now returns the current simulated time.
+func (l *Live) Now() event.Time { return l.Eng.Now() }
+
+// Done reports whether every phase has completed.
+func (l *Live) Done() bool { return l.done }
+
+// Phase returns the name of the phase currently running ("" when done).
+func (l *Live) Phase() string {
+	if l.done || l.phaseIdx >= len(l.Cfg.Phases) {
+		return ""
+	}
+	return l.Cfg.Phases[l.phaseIdx].App.Name
+}
+
+// buildPhase constructs the current phase's workload at its start time,
+// mirroring one loop iteration of the original Run.
+func (l *Live) buildPhase() {
+	ph := l.Cfg.Phases[l.phaseIdx]
+	phaseEnd := l.phaseStart + ph.Duration
+	l.ctx = &workload.Ctx{
+		Eng:      l.Eng,
+		Sys:      l.Sys,
+		Rng:      l.rng,
+		Duration: phaseEnd,
+		FPS:      &metrics.FPSTracker{},
+		Lat:      &metrics.LatencyTracker{},
+	}
+	if tel := l.Cfg.Telemetry; tel != nil {
+		lat := tel.Histogram("latency_ms")
+		l.ctx.Lat.Observe = func(d event.Time) { lat.Observe(d.Milliseconds()) }
+	}
+	ph.App.Build(l.ctx)
+}
+
+// finishPhase captures the completed phase's metrics (energy delta, big-core
+// share, performance) into the session result.
+func (l *Live) finishPhase() {
+	ph := l.Cfg.Phases[l.phaseIdx]
+	ctx := l.ctx
+
+	energy := l.Sampler.EnergyMJ()
+	dE := (energy - l.prevEnergy) / 1000
+	l.prevEnergy = energy
+
+	// Per-phase big-core share from the matrix deltas.
+	big, active := 0, 0
+	for b := 0; b <= 4; b++ {
+		for lc := 0; lc <= 4; lc++ {
+			n := l.Sampler.Matrix[b][lc]
+			if b == 0 && lc == 0 {
+				continue
+			}
+			active += n
+			if b > 0 {
+				big += n
 			}
 		}
-		bigPct := 0.0
-		if active > prevActive {
-			bigPct = 100 * float64(big-prevBig) / float64(active-prevActive)
-		}
-		prevBig, prevActive = big, active
+	}
+	bigPct := 0.0
+	if active > l.prevActive {
+		bigPct = 100 * float64(big-l.prevBig) / float64(active-l.prevActive)
+	}
+	l.prevBig, l.prevActive = big, active
 
-		pr := PhaseResult{
-			App:          ph.App.Name,
-			Duration:     ph.Duration,
-			AvgPowerMW:   dE * 1000 / ph.Duration.Seconds(),
-			EnergyJ:      dE,
-			DrainPct:     cfg.Pack.DrainPct(dE * 1000),
-			AvgFPS:       ctx.FPS.Avg(ph.Duration),
-			Interactions: ctx.Lat.N,
-			MeanLatency:  ctx.Lat.Mean(),
-			BigPct:       bigPct,
+	if tel := l.Cfg.Telemetry; tel != nil {
+		ft := tel.Histogram("frame_time_ms")
+		times := ctx.FPS.Times()
+		for i := 1; i < len(times); i++ {
+			ft.Observe((times[i] - times[i-1]).Milliseconds())
 		}
-		res.Phases = append(res.Phases, pr)
-		res.TotalEnergyJ += dE
-		res.Duration += ph.Duration
-		phaseStart = phaseEnd
 	}
-	res.TotalDrainPct = cfg.Pack.DrainPct(res.TotalEnergyJ * 1000)
-	if res.Duration > 0 {
-		res.AvgPowerMW = res.TotalEnergyJ * 1000 / res.Duration.Seconds()
-	}
-	return res
+
+	l.res.Phases = append(l.res.Phases, PhaseResult{
+		App:          ph.App.Name,
+		Duration:     ph.Duration,
+		AvgPowerMW:   dE * 1000 / ph.Duration.Seconds(),
+		EnergyJ:      dE,
+		DrainPct:     l.Cfg.Pack.DrainPct(dE * 1000),
+		AvgFPS:       ctx.FPS.Avg(ph.Duration),
+		Interactions: ctx.Lat.N,
+		MeanLatency:  ctx.Lat.Mean(),
+		BigPct:       bigPct,
+	})
+	l.res.TotalEnergyJ += dE
+	l.res.Duration += ph.Duration
 }
+
+// Advance runs the simulation up to absolute simulated time `to`, building
+// each phase's workload at its start and capturing its metrics at its end —
+// the same sequencing as Run, so a session advanced in any step sizes
+// produces the identical Result. Returns true once every phase has
+// completed; times beyond the session end are clamped.
+func (l *Live) Advance(to event.Time) bool {
+	if l.done {
+		return true
+	}
+	if max := l.Duration(); to > max {
+		to = max
+	}
+	for l.phaseIdx < len(l.Cfg.Phases) {
+		phaseEnd := l.phaseStart + l.Cfg.Phases[l.phaseIdx].Duration
+		if l.ctx == nil {
+			l.buildPhase()
+		}
+		target := to
+		if phaseEnd < target {
+			target = phaseEnd
+		}
+		l.Eng.Run(target)
+		if target < phaseEnd {
+			return false // mid-phase: resume here on the next Advance
+		}
+		l.finishPhase()
+		l.ctx = nil
+		l.phaseStart = phaseEnd
+		l.phaseIdx++
+		if phaseEnd >= to && l.phaseIdx < len(l.Cfg.Phases) {
+			return false
+		}
+	}
+	l.done = true
+	l.res.TotalDrainPct = l.Cfg.Pack.DrainPct(l.res.TotalEnergyJ * 1000)
+	if l.res.Duration > 0 {
+		l.res.AvgPowerMW = l.res.TotalEnergyJ * 1000 / l.res.Duration.Seconds()
+	}
+	return true
+}
+
+// Result returns the session result so far: completed phases only, with
+// session totals filled in once every phase is done.
+func (l *Live) Result() Result { return l.res }
 
 // Render formats a session result.
 func Render(r Result) string {

@@ -27,6 +27,9 @@ type Sample struct {
 	ClusterMHz []int
 	// RunQueue[i] is the run-queue depth of core i (running + waiting).
 	RunQueue []int
+	// Runnable lists the IDs of tasks that were on a run queue but not
+	// executing at this tick — the sampled view of schedstat run_delay.
+	Runnable []int
 }
 
 // DefaultMaxSamples bounds recorder memory when `to` is zero (record until
@@ -100,8 +103,12 @@ func (r *Recorder) capture(now event.Time) {
 		s.RunQueue[i] = r.sys.QueueLen(i)
 	}
 	for _, t := range r.sys.Tasks() {
-		if t.CurState() == sched.Running {
+		switch t.CurState() {
+		case sched.Running:
 			s.TaskOnCore[t.CPU()] = t.ID
+			r.names[t.ID] = t.Name
+		case sched.Runnable:
+			s.Runnable = append(s.Runnable, t.ID)
 			r.names[t.ID] = t.Name
 		}
 	}
@@ -208,11 +215,34 @@ func (r *Recorder) Render(width int) string {
 	return b.String()
 }
 
-// Residency summarizes per-task core-type residency over the window: the
-// fraction of recorded running time each task spent per core type.
-func (r *Recorder) Residency() map[string]map[platform.CoreType]float64 {
+// TaskResidency summarizes one task's observed scheduling over the window:
+// where it ran, and how often it was runnable but waiting behind another
+// task (the sampled analogue of schedstat's run_delay).
+type TaskResidency struct {
+	// Run is the fraction of the task's observed running time per core type.
+	Run map[platform.CoreType]float64
+	// RunTicks counts ticks where the task was executing.
+	RunTicks int
+	// WaitTicks counts ticks where the task sat on a run queue without
+	// executing.
+	WaitTicks int
+}
+
+// WaitShare returns the fraction of the task's on-queue time spent waiting
+// rather than running (0 when never observed on a queue).
+func (t TaskResidency) WaitShare() float64 {
+	if t.RunTicks+t.WaitTicks == 0 {
+		return 0
+	}
+	return float64(t.WaitTicks) / float64(t.RunTicks+t.WaitTicks)
+}
+
+// Residency summarizes per-task core-type residency and runnable-wait over
+// the window.
+func (r *Recorder) Residency() map[string]TaskResidency {
 	counts := map[int]map[platform.CoreType]int{}
-	totals := map[int]int{}
+	runs := map[int]int{}
+	waits := map[int]int{}
 	for _, s := range r.Samples {
 		for core, id := range s.TaskOnCore {
 			if id < 0 {
@@ -222,16 +252,22 @@ func (r *Recorder) Residency() map[string]map[platform.CoreType]float64 {
 				counts[id] = map[platform.CoreType]int{}
 			}
 			counts[id][r.sys.SoC.Cores[core].Type]++
-			totals[id]++
+			runs[id]++
+		}
+		for _, id := range s.Runnable {
+			waits[id]++
 		}
 	}
-	out := map[string]map[platform.CoreType]float64{}
-	for id, per := range counts {
-		m := map[platform.CoreType]float64{}
-		for typ, n := range per {
-			m[typ] = float64(n) / float64(totals[id])
+	out := map[string]TaskResidency{}
+	for id := range r.names {
+		tr := TaskResidency{RunTicks: runs[id], WaitTicks: waits[id]}
+		if runs[id] > 0 {
+			tr.Run = map[platform.CoreType]float64{}
+			for typ, n := range counts[id] {
+				tr.Run[typ] = float64(n) / float64(runs[id])
+			}
 		}
-		out[r.names[id]] = m
+		out[r.names[id]] = tr
 	}
 	return out
 }

@@ -128,11 +128,40 @@ func TestResidency(t *testing.T) {
 	eng.Run(200 * event.Millisecond)
 
 	res := r.Residency()
-	if res["on.little"][platform.Little] < 0.99 {
+	if res["on.little"].Run[platform.Little] < 0.99 {
 		t.Fatalf("little residency %v", res["on.little"])
 	}
-	if res["on.big"][platform.Big] < 0.99 {
+	if res["on.big"].Run[platform.Big] < 0.99 {
 		t.Fatalf("big residency %v", res["on.big"])
+	}
+}
+
+func TestResidencyReportsWait(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 200*event.Millisecond)
+	// Two long-running tasks pinned to one core: at every tick one runs and
+	// the other waits, so each should show roughly a 50% wait share.
+	a := sys.NewTask("rq.a", 1)
+	a.Pin(1)
+	b := sys.NewTask("rq.b", 1)
+	b.Pin(1)
+	sys.Push(a, 1e12)
+	sys.Push(b, 1e12)
+	eng.Run(200 * event.Millisecond)
+
+	res := r.Residency()
+	for _, name := range []string{"rq.a", "rq.b"} {
+		tr := res[name]
+		if tr.RunTicks == 0 || tr.WaitTicks == 0 {
+			t.Fatalf("%s: run %d wait %d ticks, want both non-zero", name, tr.RunTicks, tr.WaitTicks)
+		}
+		if share := tr.WaitShare(); share < 0.3 || share > 0.7 {
+			t.Fatalf("%s: wait share %.2f, want ~0.5", name, share)
+		}
+	}
+	// A solo task never waits.
+	if solo := res["on.little"]; solo.WaitTicks != 0 {
+		t.Fatalf("absent task reported waiting: %+v", solo)
 	}
 }
 

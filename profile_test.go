@@ -1,0 +1,223 @@
+package biglittle_test
+
+import (
+	"math"
+	"testing"
+
+	"biglittle"
+)
+
+// profiledRun executes one bbench run with the profiler (and telemetry)
+// attached, returning everything the conservation tests reconcile.
+func profiledRun(t *testing.T, seed int64) (biglittle.Result, biglittle.ProfileSnapshot,
+	*biglittle.Telemetry, *biglittle.SchedSystem) {
+	t.Helper()
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 5 * biglittle.Second
+	cfg.Seed = seed
+
+	prof := biglittle.NewProfiler()
+	tel := biglittle.NewTelemetry()
+	cfg.Profiler = prof
+	cfg.Telemetry = tel
+	var sys *biglittle.SchedSystem
+	cfg.OnSystem = func(s *biglittle.SchedSystem) { sys = s }
+
+	res := biglittle.Run(cfg)
+	if res.Profile == nil {
+		t.Fatal("Result.Profile not populated with a profiler attached")
+	}
+	return res, *res.Profile, tel, sys
+}
+
+// TestProfileEnergyConservation: the per-task energy attribution partitions
+// the power meter's reading — attributed + unattributed equals
+// Result.EnergyMJ within 0.1%, and no energy is double-counted.
+func TestProfileEnergyConservation(t *testing.T) {
+	res, snap, _, _ := profiledRun(t, 3)
+
+	var perTask float64
+	for _, task := range snap.Tasks {
+		if task.EnergyMJ < 0 {
+			t.Fatalf("task %s attributed negative energy %v", task.Name, task.EnergyMJ)
+		}
+		perTask += task.EnergyMJ
+	}
+	if math.Abs(perTask-snap.AttributedMJ) > 1e-6*snap.AttributedMJ {
+		t.Fatalf("per-task sum %v != AttributedMJ %v", perTask, snap.AttributedMJ)
+	}
+	total := snap.AttributedMJ + snap.UnattributedMJ
+	if res.EnergyMJ == 0 {
+		t.Fatal("run metered no energy; conservation is vacuous")
+	}
+	if rel := math.Abs(total-res.EnergyMJ) / res.EnergyMJ; rel > 0.001 {
+		t.Fatalf("attributed %v + unattributed %v = %v, meter %v (rel err %v > 0.1%%)",
+			snap.AttributedMJ, snap.UnattributedMJ, total, res.EnergyMJ, rel)
+	}
+	if snap.AttributedMJ == 0 {
+		t.Fatal("nothing attributed on a busy run")
+	}
+}
+
+// TestProfileRunTimeConservation: the profiler's per-task run time per core
+// type sums exactly (integer nanoseconds) to the scheduler's per-core busy
+// totals — both sides are fed the same sync intervals.
+func TestProfileRunTimeConservation(t *testing.T) {
+	_, snap, _, sys := profiledRun(t, 3)
+
+	var taskLittle, taskBig biglittle.Time
+	for _, task := range snap.Tasks {
+		taskLittle += task.LittleRunNs + task.TinyRunNs
+		taskBig += task.BigRunNs
+	}
+	var coreLittle, coreBig biglittle.Time
+	for id := range sys.SoC.Cores {
+		if sys.SoC.Cores[id].Type.String() == "big" {
+			coreBig += sys.BusyNs(id)
+		} else {
+			coreLittle += sys.BusyNs(id)
+		}
+	}
+	if taskLittle != coreLittle || taskBig != coreBig {
+		t.Fatalf("run-time split task(little=%v big=%v) != cores(little=%v big=%v)",
+			taskLittle, taskBig, coreLittle, coreBig)
+	}
+	if taskLittle == 0 && taskBig == 0 {
+		t.Fatal("no run time attributed")
+	}
+}
+
+// TestProfileMigrationReconciliation: the profiler's per-task HMP migration
+// counts agree exactly with the scheduler's Result.HMPMigrations and the
+// telemetry event log — three independent accountings of the same run.
+func TestProfileMigrationReconciliation(t *testing.T) {
+	res, snap, tel, _ := profiledRun(t, 3)
+
+	if got := snap.HMPMigrations(); got != res.HMPMigrations {
+		t.Fatalf("profiler HMP migrations %d != Result.HMPMigrations %d", got, res.HMPMigrations)
+	}
+	if got := tel.HMPMigrations(); got != int64(res.HMPMigrations) {
+		t.Fatalf("telemetry HMP migrations %d != Result.HMPMigrations %d", got, res.HMPMigrations)
+	}
+	if res.HMPMigrations == 0 {
+		t.Fatal("run produced no HMP migrations; reconciliation is vacuous")
+	}
+	// Direction totals bound the HMP count: every threshold move changes tier.
+	var up, down, all int
+	for _, task := range snap.Tasks {
+		up += task.UpMigrations
+		down += task.DownMigrations
+		all += task.Migrations
+	}
+	if up+down > all {
+		t.Fatalf("directional moves %d+%d exceed total %d", up, down, all)
+	}
+	if snap.HMPMigrations() > up+down {
+		t.Fatalf("HMP moves %d exceed tier-changing moves %d", snap.HMPMigrations(), up+down)
+	}
+}
+
+// TestProfileSessionConservation: the same energy invariant holds across a
+// multi-phase session driven through the live path.
+func TestProfileSessionConservation(t *testing.T) {
+	browser, err := biglittle.AppByName("browser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, err := biglittle.AppByName("video_player")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.NewSession(
+		biglittle.SessionPhase{App: browser, Duration: 2 * biglittle.Second},
+		biglittle.SessionPhase{App: video, Duration: 2 * biglittle.Second},
+	)
+	prof := biglittle.NewProfiler()
+	cfg.Profiler = prof
+
+	live := biglittle.NewLiveSession(cfg)
+	// Advance in deliberately odd steps to exercise mid-phase boundaries.
+	for to := 300 * biglittle.Millisecond; !live.Advance(to); to += 300 * biglittle.Millisecond {
+	}
+	res := live.Result()
+	snap := prof.Snapshot(live.Now())
+
+	meterMJ := res.TotalEnergyJ * 1000
+	total := snap.AttributedMJ + snap.UnattributedMJ
+	if meterMJ == 0 {
+		t.Fatal("session metered no energy")
+	}
+	if rel := math.Abs(total-meterMJ) / meterMJ; rel > 0.001 {
+		t.Fatalf("session attribution %v vs meter %v (rel err %v)", total, meterMJ, rel)
+	}
+	// Threads from both phases appear side by side.
+	if _, ok := snap.Task("br.sys1"); !ok {
+		t.Fatal("browser-phase thread missing from session profile")
+	}
+	if _, ok := snap.Task("vp.render"); !ok {
+		t.Fatal("video-phase thread missing from session profile")
+	}
+}
+
+// TestLiveSessionMatchesRun: advancing a session incrementally produces the
+// identical Result as the one-shot Run path (same seed, same event order).
+func TestLiveSessionMatchesRun(t *testing.T) {
+	app, err := biglittle.AppByName("browser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.NewSession(
+		biglittle.SessionPhase{App: app, Duration: 2 * biglittle.Second},
+	)
+	want := biglittle.RunSession(cfg)
+
+	live := biglittle.NewLiveSession(cfg)
+	for to := 100 * biglittle.Millisecond; !live.Advance(to); to += 100 * biglittle.Millisecond {
+	}
+	got := live.Result()
+
+	if got.TotalEnergyJ != want.TotalEnergyJ || got.Duration != want.Duration ||
+		len(got.Phases) != len(want.Phases) {
+		t.Fatalf("live result diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+	for i := range got.Phases {
+		if got.Phases[i] != want.Phases[i] {
+			t.Fatalf("phase %d diverged:\n got %+v\nwant %+v", i, got.Phases[i], want.Phases[i])
+		}
+	}
+}
+
+// runForProfilerOverhead is the benchmark body shared by the profiler on/off
+// pair (mirrors runForOverhead for telemetry).
+func runForProfilerOverhead(prof *biglittle.Profiler) biglittle.Result {
+	app, _ := biglittle.AppByName("eternity_warrior")
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 4 * biglittle.Second
+	cfg.Seed = 1
+	cfg.Profiler = prof
+	return biglittle.Run(cfg)
+}
+
+// BenchmarkProfilerOff is the baseline: a nil profiler, so every emit site
+// reduces to one pointer check. Compare with BenchmarkProfilerOn.
+func BenchmarkProfilerOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runForProfilerOverhead(nil)
+	}
+}
+
+// BenchmarkProfilerOn measures a fully-enabled profiler, including the
+// per-interval energy attribution.
+func BenchmarkProfilerOn(b *testing.B) {
+	var tasks int
+	for i := 0; i < b.N; i++ {
+		prof := biglittle.NewProfiler()
+		res := runForProfilerOverhead(prof)
+		tasks = len(res.Profile.Tasks)
+	}
+	b.ReportMetric(float64(tasks), "tasks/run")
+}
