@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke serve-smoke report quick-report cover fmt vet all
+.PHONY: build test test-race bench bench-smoke serve-smoke report quick-report report-par cover fmt vet all
 
 all: build vet test test-race
 
@@ -41,6 +41,21 @@ report:
 
 quick-report:
 	go run ./cmd/blreport -quick
+
+# Smoke-test the experiment orchestrator: run the quick report cold into a
+# fresh cache, re-run warm, and assert (a) the warm run hit the cache and
+# simulated nothing, (b) report stdout is byte-identical cold vs warm.
+report-par:
+	go build -o /tmp/blreport ./cmd/blreport
+	dir=$$(mktemp -d); \
+		/tmp/blreport -quick -cache-dir $$dir >/tmp/report-cold.txt 2>/tmp/report-cold.log; \
+		/tmp/blreport -quick -cache-dir $$dir >/tmp/report-warm.txt 2>/tmp/report-warm.log; \
+		cat /tmp/report-cold.log /tmp/report-warm.log; \
+		rm -rf $$dir; \
+		grep -Eq 'lab: [0-9]+ jobs: [1-9][0-9]* cache hits' /tmp/report-warm.log || { echo "report-par: warm run had no cache hits" >&2; exit 1; }; \
+		grep -Eq ' 0 simulated' /tmp/report-warm.log || { echo "report-par: warm run still simulated" >&2; exit 1; }; \
+		cmp /tmp/report-cold.txt /tmp/report-warm.txt || { echo "report-par: cold and warm output differ" >&2; exit 1; }; \
+		echo "report-par: OK"
 
 cover:
 	go test ./internal/... . -cover

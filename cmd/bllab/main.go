@@ -1,0 +1,116 @@
+// Command bllab inspects and maintains the experiment result cache that
+// blreport, blsweep, and bltlp populate.
+//
+// Usage:
+//
+//	bllab [-cache-dir DIR] ls            # list cached results
+//	bllab [-cache-dir DIR] stat          # cache location, version, entry counts
+//	bllab [-cache-dir DIR] prune         # drop results from stale code versions
+//	bllab [-cache-dir DIR] invalidate [-app NAME] [-all]
+//	                                     # drop current-version results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"biglittle/internal/lab"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bllab [-cache-dir DIR] <ls|stat|prune|invalidate> [-app NAME] [-all]")
+	flag.PrintDefaults()
+}
+
+func main() {
+	cacheDir := flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/biglittle)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+
+	sub := flag.NewFlagSet("bllab "+cmd, flag.ExitOnError)
+	app := sub.String("app", "", "restrict invalidate to one app's results")
+	all := sub.Bool("all", false, "invalidate every current-version result")
+	sub.Parse(flag.Args()[1:])
+
+	cache, err := lab.Open(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bllab:", err)
+		os.Exit(1)
+	}
+
+	switch cmd {
+	case "ls":
+		entries, err := cache.List()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bllab:", err)
+			os.Exit(1)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "VERSION\tAPP\tSALT\tFINGERPRINT\tSIZE\tSAVED")
+		for _, e := range entries {
+			fp := e.Fingerprint
+			if len(fp) > 12 {
+				fp = fp[:12]
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%s\n",
+				e.Version, e.App, e.Salt, fp, e.SizeB, e.SavedAt.Format("2006-01-02 15:04:05"))
+		}
+		w.Flush()
+		fmt.Printf("%d entries\n", len(entries))
+
+	case "stat":
+		entries, err := cache.List()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bllab:", err)
+			os.Exit(1)
+		}
+		current, stale := 0, 0
+		var bytes int64
+		for _, e := range entries {
+			if e.Version == cache.Version() {
+				current++
+			} else {
+				stale++
+			}
+			bytes += e.SizeB
+		}
+		fmt.Printf("cache dir:       %s\n", cache.Dir())
+		fmt.Printf("code version:    %s\n", lab.CodeVersion())
+		fmt.Printf("current entries: %d\n", current)
+		fmt.Printf("stale entries:   %d (from older code versions; `bllab prune` removes them)\n", stale)
+		fmt.Printf("total size:      %d bytes\n", bytes)
+
+	case "prune":
+		n, err := cache.PruneStale()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bllab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pruned %d stale entries\n", n)
+
+	case "invalidate":
+		if *app == "" && !*all {
+			fmt.Fprintln(os.Stderr, "bllab: invalidate needs -app NAME or -all")
+			os.Exit(2)
+		}
+		n, err := cache.Invalidate(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bllab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("invalidated %d entries\n", n)
+
+	default:
+		fmt.Fprintf(os.Stderr, "bllab: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}

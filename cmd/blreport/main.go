@@ -7,23 +7,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"biglittle"
+	"biglittle/internal/cli"
 )
 
 func main() {
-	var (
-		quick    = flag.Bool("quick", false, "short runs (8s per app) for a fast pass")
-		seed     = flag.Int64("seed", 1, "workload random seed")
-		duration = flag.Duration("duration", 30*time.Second, "simulated duration per app run")
-	)
+	ex := cli.RegisterExperiment(flag.CommandLine, 30*time.Second)
+	quick := flag.Bool("quick", false, "short runs (8s per app) for a fast pass")
 	flag.Parse()
 
-	o := biglittle.ExperimentOptions{
-		Duration: biglittle.Time(duration.Nanoseconds()),
-		Seed:     *seed,
+	runner, err := ex.Runner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blreport:", err)
+		os.Exit(1)
 	}
+	start := time.Now()
+	defer func() { cli.PrintLabStats(os.Stderr, runner, time.Since(start)) }()
+
+	o := ex.Options(runner)
 	if *quick {
 		o.Duration = 8 * biglittle.Second
 		o.Instructions = 120_000

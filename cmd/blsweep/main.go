@@ -2,6 +2,10 @@
 // of values for one app (or all twelve) and emits CSV — the raw material
 // behind Figures 11-13 style studies, for plotting or regression tracking.
 //
+// Sweeps run through the experiment orchestrator: fanned out over -workers
+// simulations and memoized in the result cache, so re-sweeping overlapping
+// ranges only simulates the new points.
+//
 // Usage:
 //
 //	blsweep -param sample-ms -values 10,20,40,60,80,100 -app bbench
@@ -12,11 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"biglittle"
+	"biglittle/internal/cli"
 )
 
 var params = map[string]func(*biglittle.Config, int){
@@ -28,50 +31,56 @@ var params = map[string]func(*biglittle.Config, int){
 }
 
 func main() {
+	ex := cli.RegisterExperiment(flag.CommandLine, 15*time.Second)
 	var (
-		param    = flag.String("param", "sample-ms", "parameter to sweep: sample-ms|target-load|up-threshold|down-threshold|weight-ms")
-		values   = flag.String("values", "10,20,40,60,80,100", "comma-separated values")
-		appName  = flag.String("app", "", "single app (default: all twelve)")
-		duration = flag.Duration("duration", 15*time.Second, "simulated duration per run")
-		seed     = flag.Int64("seed", 1, "workload random seed")
+		param   = flag.String("param", "sample-ms", "parameter to sweep: sample-ms|target-load|up-threshold|down-threshold|weight-ms")
+		values  = flag.String("values", "10,20,40,60,80,100", "comma-separated values")
+		appName = flag.String("app", "", "single app (default: all twelve)")
 	)
 	flag.Parse()
 
 	setter, ok := params[*param]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		fmt.Fprintf(os.Stderr, "blsweep: unknown parameter %q\n", *param)
 		os.Exit(1)
 	}
-	var vals []int
-	for _, f := range strings.Split(*values, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", f, err)
-			os.Exit(1)
-		}
-		vals = append(vals, v)
+	vals, err := cli.Ints(*values)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blsweep: -values: %v (nothing to sweep)\n", err)
+		os.Exit(1)
+	}
+	appsToRun, err := cli.ResolveApps(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blsweep:", err)
+		os.Exit(1)
+	}
+	runner, err := ex.Runner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blsweep:", err)
+		os.Exit(1)
 	}
 
-	var appsToRun []biglittle.App
-	if *appName != "" {
-		app, err := biglittle.AppByName(*appName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		appsToRun = []biglittle.App{app}
-	} else {
-		appsToRun = biglittle.Apps()
-	}
-
-	fmt.Printf("app,metric,%s,avg_power_mw,energy_j,mean_latency_ms,avg_fps,min_fps,tlp,big_pct,migrations\n", *param)
+	var cfgs []biglittle.Config
 	for _, app := range appsToRun {
 		for _, v := range vals {
 			cfg := biglittle.DefaultConfig(app)
-			cfg.Seed = *seed
-			cfg.Duration = biglittle.Time(duration.Nanoseconds())
+			cfg.Seed = ex.Seed
+			cfg.Duration = biglittle.Time(ex.Duration.Nanoseconds())
 			setter(&cfg, v)
-			r := biglittle.Run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	start := time.Now()
+	results, err := runner.RunConfigs(cfgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blsweep:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app,metric,%s,avg_power_mw,energy_j,mean_latency_ms,avg_fps,min_fps,tlp,big_pct,migrations\n", *param)
+	for ai := range appsToRun {
+		for vi, v := range vals {
+			r := results[ai*len(vals)+vi]
 			fmt.Printf("%s,%s,%d,%.1f,%.3f,%.2f,%.2f,%.2f,%.3f,%.2f,%d\n",
 				r.App, r.Metric, v,
 				r.AvgPowerMW, r.EnergyMJ/1000,
@@ -79,4 +88,5 @@ func main() {
 				r.TLP.TLP, r.TLP.BigPct, r.HMPMigrations)
 		}
 	}
+	cli.PrintLabStats(os.Stderr, runner, time.Since(start))
 }

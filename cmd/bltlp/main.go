@@ -3,6 +3,10 @@
 // active-core matrix, the Table V efficiency decomposition, and the
 // Figure 9/10 frequency-residency distributions.
 //
+// Runs go through the experiment orchestrator: the suite fans out over
+// -workers simulations, and results are memoized in the on-disk cache so a
+// repeated characterization is served without simulating.
+//
 // Usage:
 //
 //	bltlp                  # Table III for all twelve apps
@@ -16,20 +20,23 @@ import (
 	"time"
 
 	"biglittle"
+	"biglittle/internal/cli"
 )
 
 func main() {
-	var (
-		appName  = flag.String("app", "", "single app to characterize in detail (default: Table III for all)")
-		duration = flag.Duration("duration", 30*time.Second, "simulated duration per app")
-		seed     = flag.Int64("seed", 1, "workload random seed")
-	)
+	ex := cli.RegisterExperiment(flag.CommandLine, 30*time.Second)
+	appName := flag.String("app", "", "single app to characterize in detail (default: Table III for all)")
 	flag.Parse()
 
-	o := biglittle.ExperimentOptions{
-		Duration: biglittle.Time(duration.Nanoseconds()),
-		Seed:     *seed,
+	runner, err := ex.Runner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bltlp:", err)
+		os.Exit(1)
 	}
+	start := time.Now()
+	defer func() { cli.PrintLabStats(os.Stderr, runner, time.Since(start)) }()
+
+	o := ex.Options(runner)
 
 	if *appName == "" {
 		results := biglittle.Characterize(o)
@@ -41,13 +48,17 @@ func main() {
 
 	app, err := biglittle.AppByName(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "bltlp:", err)
 		os.Exit(1)
 	}
 	cfg := biglittle.DefaultConfig(app)
 	cfg.Duration = o.Duration
 	cfg.Seed = o.Seed
-	r := biglittle.Run(cfg)
+	r, err := runner.Run(biglittle.LabJob{Config: cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bltlp:", err)
+		os.Exit(1)
+	}
 
 	results := []biglittle.Result{r}
 	fmt.Print(biglittle.RenderTable3(results))

@@ -5,10 +5,13 @@
 package analysis
 
 import (
+	"fmt"
+
 	"biglittle/internal/apps"
 	"biglittle/internal/core"
 	"biglittle/internal/event"
 	"biglittle/internal/governor"
+	"biglittle/internal/lab"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
 	"biglittle/internal/sched"
@@ -25,6 +28,10 @@ type Options struct {
 	Seed int64
 	// Instructions per SPEC trace (0 = the profile default).
 	Instructions int
+	// Runner orchestrates the driver's simulations: worker-pool fan-out and
+	// (when it carries a cache) content-addressed result memoization. Nil
+	// uses the shared default runner — GOMAXPROCS workers, no cache.
+	Runner *lab.Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +51,32 @@ func (o Options) appConfig(app apps.App) core.Config {
 	return cfg
 }
 
+func (o Options) lab() *lab.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return lab.Default()
+}
+
+// runAll executes jobs through the experiment runner and panics on failure:
+// driver configs are validated values, so a job that exhausts its retries is
+// a bug (core.Run's own convention for misuse).
+func (o Options) runAll(jobs []lab.Job) []core.Result {
+	res, err := o.lab().RunAll(jobs)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// forEach fans fn out over the runner's worker pool — the parallelism path
+// for drivers whose unit of work is not a core simulation (microarchitecture
+// and branch-predictor sweeps). Per-index results must be written to
+// pre-sized slices so aggregation stays deterministic.
+func (o Options) forEach(n int, fn func(i int)) { o.lab().ForEach(n, fn) }
+
+func job(cfg core.Config) lab.Job { return lab.Job{Config: cfg} }
+
 // ---------------------------------------------------------------------------
 // Figure 2: SPEC speedup of big core at 1.9/1.3/0.8 GHz vs little at 1.3 GHz.
 
@@ -59,16 +92,18 @@ type Fig2Row struct {
 func Fig2(o Options) []Fig2Row {
 	o = o.withDefaults()
 	little, big := uarch.CortexA7(), uarch.CortexA15()
-	var rows []Fig2Row
-	for _, p := range synth.SPEC() {
+	profiles := synth.SPEC()
+	rows := make([]Fig2Row, len(profiles))
+	o.forEach(len(profiles), func(i int) {
+		p := profiles[i]
 		base := uarch.Run(little, p, 1300, o.Instructions)
-		rows = append(rows, Fig2Row{
+		rows[i] = Fig2Row{
 			Workload:  p.Name,
 			Speedup19: uarch.Speedup(uarch.Run(big, p, 1900, o.Instructions), base),
 			Speedup13: uarch.Speedup(uarch.Run(big, p, 1300, o.Instructions), base),
 			Speedup08: uarch.Speedup(uarch.Run(big, p, 800, o.Instructions), base),
-		})
-	}
+		}
+	})
 	return rows
 }
 
@@ -102,16 +137,18 @@ func Fig3(o Options) []Fig3Row {
 		dyn := tp.DynCoefMW * v * v * float64(mhz) * activity
 		return pw.BaseMW + dyn + tp.ActiveOverheadMW*v
 	}
-	var rows []Fig3Row
-	for _, p := range synth.SPEC() {
-		rows = append(rows, Fig3Row{
+	profiles := synth.SPEC()
+	rows := make([]Fig3Row, len(profiles))
+	o.forEach(len(profiles), func(i int) {
+		p := profiles[i]
+		rows[i] = Fig3Row{
 			Workload: p.Name,
 			Little13: sys(little, platform.Little, p, 1300),
 			Big08:    sys(big, platform.Big, p, 800),
 			Big13:    sys(big, platform.Big, p, 1300),
 			Big19:    sys(big, platform.Big, p, 1900),
-		})
-	}
+		}
+	})
 	return rows
 }
 
@@ -131,36 +168,49 @@ type ClusterCompareRow struct {
 	LittleMW, BigMW  float64
 }
 
-func clusterCompare(o Options, app apps.App) ClusterCompareRow {
-	littleCfg := o.appConfig(app)
+// clusterCompare builds the little-only and big-only configs for one app,
+// and assembles the comparison row from their results.
+func clusterConfigs(o Options, app apps.App) (littleCfg, bigCfg core.Config) {
+	littleCfg = o.appConfig(app)
 	littleCfg.Cores = platform.CoreConfig{Little: 4}
 
-	bigCfg := o.appConfig(app)
+	bigCfg = o.appConfig(app)
 	bigCfg.Cores = platform.CoreConfig{Little: 1, Big: 4}
 	// Force everything onto the big cluster: with a zero up-threshold every
 	// runnable task migrates up immediately, emulating the paper's
 	// big-cores-only runs (one little core must stay online in hardware).
 	bigCfg.Sched.UpThreshold = -1
 	bigCfg.Sched.DownThreshold = -1
+	return littleCfg, bigCfg
+}
 
-	lr := core.Run(littleCfg)
-	br := core.Run(bigCfg)
-
-	row := ClusterCompareRow{
-		App:              app.Name,
-		LittleMW:         lr.AvgPowerMW,
-		BigMW:            br.AvgPowerMW,
-		PowerIncreasePct: pct(br.AvgPowerMW, lr.AvgPowerMW),
+func clusterCompareRows(o Options, suite []apps.App) []ClusterCompareRow {
+	jobs := make([]lab.Job, 0, 2*len(suite))
+	for _, app := range suite {
+		littleCfg, bigCfg := clusterConfigs(o, app)
+		jobs = append(jobs, job(littleCfg), job(bigCfg))
 	}
-	if app.Metric == apps.Latency {
-		if br.MeanLatency > 0 && lr.MeanLatency > 0 {
-			row.LatencyReductionPct = 100 * (1 - br.MeanLatency.Seconds()/lr.MeanLatency.Seconds())
+	res := o.runAll(jobs)
+	rows := make([]ClusterCompareRow, len(suite))
+	for i, app := range suite {
+		lr, br := res[2*i], res[2*i+1]
+		row := ClusterCompareRow{
+			App:              app.Name,
+			LittleMW:         lr.AvgPowerMW,
+			BigMW:            br.AvgPowerMW,
+			PowerIncreasePct: pct(br.AvgPowerMW, lr.AvgPowerMW),
 		}
-	} else {
-		row.AvgFPSGainPct = pct(br.AvgFPS, lr.AvgFPS)
-		row.MinFPSGainPct = pct(br.MinFPS, lr.MinFPS)
+		if app.Metric == apps.Latency {
+			if br.MeanLatency > 0 && lr.MeanLatency > 0 {
+				row.LatencyReductionPct = 100 * (1 - br.MeanLatency.Seconds()/lr.MeanLatency.Seconds())
+			}
+		} else {
+			row.AvgFPSGainPct = pct(br.AvgFPS, lr.AvgFPS)
+			row.MinFPSGainPct = pct(br.MinFPS, lr.MinFPS)
+		}
+		rows[i] = row
 	}
-	return row
+	return rows
 }
 
 func pct(new, old float64) float64 {
@@ -174,20 +224,14 @@ func pct(new, old float64) float64 {
 // the seven latency-oriented apps run on 4 big instead of 4 little cores.
 func Fig4(o Options) []ClusterCompareRow {
 	o = o.withDefaults()
-	la := apps.LatencyApps()
-	rows := make([]ClusterCompareRow, len(la))
-	forEach(len(la), func(i int) { rows[i] = clusterCompare(o, la[i]) })
-	return rows
+	return clusterCompareRows(o, apps.LatencyApps())
 }
 
 // Fig5 reproduces Figure 5: average and minimum FPS gain versus power
 // increase for the five FPS-oriented apps.
 func Fig5(o Options) []ClusterCompareRow {
 	o = o.withDefaults()
-	fa := apps.FPSApps()
-	rows := make([]ClusterCompareRow, len(fa))
-	forEach(len(fa), func(i int) { rows[i] = clusterCompare(o, fa[i]) })
-	return rows
+	return clusterCompareRows(o, apps.FPSApps())
 }
 
 // ---------------------------------------------------------------------------
@@ -209,7 +253,10 @@ func Fig6(o Options) []Fig6Row {
 	if dur < 2*event.Second {
 		dur = o.Duration
 	}
-	var rows []Fig6Row
+	var (
+		jobs []lab.Job
+		rows []Fig6Row
+	)
 	for _, tc := range []struct {
 		typ   platform.CoreType
 		cores platform.CoreConfig
@@ -226,10 +273,16 @@ func Fig6(o Options) []Fig6Row {
 				cfg.Cores = tc.cores
 				cfg.Governor = core.Userspace
 				cfg.PinnedMHz = map[int]int{0: mhz, 1: mhz}
-				r := core.Run(cfg)
-				rows = append(rows, Fig6Row{Type: tc.typ, MHz: mhz, UtilPct: util, MW: r.AvgPowerMW})
+				// The microbenchmark's duty cycle and pinned core live in
+				// its Build closure; salt them into the fingerprint.
+				jobs = append(jobs, lab.Job{Config: cfg, Salt: fmt.Sprintf("fig6/%v/%d/%d/%d", tc.typ, mhz, util, tc.pin)})
+				rows = append(rows, Fig6Row{Type: tc.typ, MHz: mhz, UtilPct: util})
 			}
 		}
+	}
+	res := o.runAll(jobs)
+	for i := range rows {
+		rows[i].MW = res[i].AvgPowerMW
 	}
 	return rows
 }
@@ -248,11 +301,11 @@ type AppCharacterization struct {
 func Characterize(o Options) []core.Result {
 	o = o.withDefaults()
 	all := apps.All()
-	out := make([]core.Result, len(all))
-	forEach(len(all), func(i int) {
-		out[i] = core.Run(o.appConfig(all[i]))
-	})
-	return out
+	jobs := make([]lab.Job, len(all))
+	for i, app := range all {
+		jobs[i] = job(o.appConfig(app))
+	}
+	return o.runAll(jobs)
 }
 
 // ---------------------------------------------------------------------------
@@ -277,14 +330,22 @@ func CoreConfigs(o Options) []CoreConfigRow {
 	o = o.withDefaults()
 	all := apps.All()
 	cfgs := platform.StudyConfigs()
-	rows := make([]CoreConfigRow, len(all)*len(cfgs))
-	forEach(len(all), func(ai int) {
-		app := all[ai]
-		base := core.Run(o.appConfig(app))
-		for ci, cc := range cfgs {
+	per := 1 + len(cfgs) // baseline first, then each hotplug config
+	jobs := make([]lab.Job, 0, len(all)*per)
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
+		for _, cc := range cfgs {
 			cfg := o.appConfig(app)
 			cfg.Cores = cc
-			r := core.Run(cfg)
+			jobs = append(jobs, job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
+	rows := make([]CoreConfigRow, len(all)*len(cfgs))
+	for ai, app := range all {
+		base := res[ai*per]
+		for ci, cc := range cfgs {
+			r := res[ai*per+1+ci]
 			row := CoreConfigRow{
 				App:            app.Name,
 				Config:         cc,
@@ -296,7 +357,7 @@ func CoreConfigs(o Options) []CoreConfigRow {
 			}
 			rows[ai*len(cfgs)+ci] = row
 		}
-	})
+	}
 	return rows
 }
 
@@ -339,11 +400,11 @@ func TuningStudy(o Options) []TuningRow {
 	o = o.withDefaults()
 	all := apps.All()
 	tns := Tunings()
-	rows := make([]TuningRow, len(all)*len(tns))
-	forEach(len(all), func(ai int) {
-		app := all[ai]
-		base := core.Run(o.appConfig(app))
-		for ti, tn := range tns {
+	per := 1 + len(tns) // baseline first, then each tuning
+	jobs := make([]lab.Job, 0, len(all)*per)
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
+		for _, tn := range tns {
 			cfg := o.appConfig(app)
 			if tn.Gov != nil {
 				tn.Gov(&cfg.Gov)
@@ -351,7 +412,15 @@ func TuningStudy(o Options) []TuningRow {
 			if tn.Sched != nil {
 				tn.Sched(&cfg.Sched)
 			}
-			r := core.Run(cfg)
+			jobs = append(jobs, job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
+	rows := make([]TuningRow, len(all)*len(tns))
+	for ai, app := range all {
+		base := res[ai*per]
+		for ti, tn := range tns {
+			r := res[ai*per+1+ti]
 			row := TuningRow{
 				App:            app.Name,
 				Tuning:         tn.Name,
@@ -364,7 +433,7 @@ func TuningStudy(o Options) []TuningRow {
 			}
 			rows[ai*len(tns)+ti] = row
 		}
-	})
+	}
 	return rows
 }
 

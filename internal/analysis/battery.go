@@ -6,7 +6,7 @@ import (
 
 	"biglittle/internal/apps"
 	"biglittle/internal/battery"
-	"biglittle/internal/core"
+	"biglittle/internal/lab"
 )
 
 // BatteryRow estimates battery life per app on the paper's device.
@@ -29,9 +29,14 @@ func BatteryStudy(o Options) []BatteryRow {
 	o = o.withDefaults()
 	pack := battery.GalaxyS5()
 	all := apps.All()
+	jobs := make([]lab.Job, len(all))
+	for i, app := range all {
+		jobs[i] = job(o.appConfig(app))
+	}
+	res := o.runAll(jobs)
 	rows := make([]BatteryRow, len(all))
-	forEach(len(all), func(i int) {
-		r := core.Run(o.appConfig(all[i]))
+	for i := range all {
+		r := res[i]
 		row := BatteryRow{
 			App:             all[i].Name,
 			AvgMW:           r.AvgPowerMW,
@@ -49,7 +54,7 @@ func BatteryStudy(o Options) []BatteryRow {
 			}
 		}
 		rows[i] = row
-	})
+	}
 	return rows
 }
 
@@ -94,9 +99,8 @@ func MultitaskStudy(o Options) []MultitaskRow {
 		{"game+encode", "angry_bird", "encoder"},
 		{"bbench+scan", "bbench", "virus_scanner"},
 	}
-	rows := make([]MultitaskRow, len(combos))
-	forEach(len(combos), func(i int) {
-		c := combos[i]
+	jobs := make([]lab.Job, 0, 2*len(combos))
+	for _, c := range combos {
 		fg, err := apps.ByName(c.foreground)
 		if err != nil {
 			panic(err)
@@ -105,8 +109,18 @@ func MultitaskStudy(o Options) []MultitaskRow {
 		if err != nil {
 			panic(err)
 		}
-		alone := core.Run(o.appConfig(fg))
-		both := core.Run(o.appConfig(apps.Composite(c.name, fg, bg)))
+		jobs = append(jobs, job(o.appConfig(fg)))
+		// A composite's background set lives inside its Build closure, so
+		// salt the fingerprint with the member apps.
+		jobs = append(jobs, lab.Job{
+			Config: o.appConfig(apps.Composite(c.name, fg, bg)),
+			Salt:   "composite/" + c.foreground + "+" + c.background,
+		})
+	}
+	res := o.runAll(jobs)
+	rows := make([]MultitaskRow, len(combos))
+	for i, c := range combos {
+		alone, both := res[2*i], res[2*i+1]
 		rows[i] = MultitaskRow{
 			Scenario:         c.name,
 			PerfChangePct:    pct(both.Performance(), alone.Performance()),
@@ -114,7 +128,7 @@ func MultitaskStudy(o Options) []MultitaskRow {
 			TLP:              both.TLP.TLP,
 			TLPAlone:         alone.TLP.TLP,
 		}
-	})
+	}
 	return rows
 }
 

@@ -31,7 +31,7 @@ func CacheSweep(o Options) []CacheSweepRow {
 	big := uarch.CortexA15()
 	profiles := synth.SPEC()
 	rows := make([]CacheSweepRow, len(profiles))
-	forEach(len(profiles), func(i int) {
+	o.forEach(len(profiles), func(i int) {
 		p := profiles[i]
 		ref := uarch.Run(big, p, 1300, o.Instructions)
 		row := CacheSweepRow{Workload: p.Name, SpeedupAt: map[int]float64{}}

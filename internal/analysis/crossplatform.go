@@ -5,7 +5,7 @@ import (
 	"text/tabwriter"
 
 	"biglittle/internal/apps"
-	"biglittle/internal/core"
+	"biglittle/internal/lab"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
 )
@@ -29,17 +29,21 @@ type CrossPlatformRow struct {
 func CrossPlatform(o Options) []CrossPlatformRow {
 	o = o.withDefaults()
 	all := apps.All()
-	rows := make([]CrossPlatformRow, len(all)*2)
-	forEach(len(all), func(ai int) {
-		app := all[ai]
-		base := core.Run(o.appConfig(app))
-		rows[ai*2] = CrossPlatformRow{
-			App: app.Name, Platform: "exynos5422", BigPct: base.TLP.BigPct,
-		}
+	jobs := make([]lab.Job, 0, 2*len(all))
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
 		cfg := o.appConfig(app)
 		cfg.Platform = platform.Snapdragon810
 		cfg.Power = power.Snapdragon810Params()
-		r := core.Run(cfg)
+		jobs = append(jobs, job(cfg))
+	}
+	res := o.runAll(jobs)
+	rows := make([]CrossPlatformRow, len(all)*2)
+	for ai, app := range all {
+		base, r := res[2*ai], res[2*ai+1]
+		rows[ai*2] = CrossPlatformRow{
+			App: app.Name, Platform: "exynos5422", BigPct: base.TLP.BigPct,
+		}
 		rows[ai*2+1] = CrossPlatformRow{
 			App:            app.Name,
 			Platform:       "snapdragon810",
@@ -47,7 +51,7 @@ func CrossPlatform(o Options) []CrossPlatformRow {
 			PowerChangePct: pct(r.AvgPowerMW, base.AvgPowerMW),
 			BigPct:         r.TLP.BigPct,
 		}
-	})
+	}
 	return rows
 }
 

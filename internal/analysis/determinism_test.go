@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/lab"
+)
+
+// renderSlice renders a representative slice of the report — simulation-backed
+// drivers spanning the cluster comparison, full characterization, and the
+// parallel Fig6 microbenchmark grid — for the determinism check.
+func renderSlice(o Options) string {
+	return RenderFig4(Fig4(o)) +
+		RenderTable3(Characterize(o)) +
+		RenderFig6(Fig6(o))
+}
+
+// TestReportDeterministicAcrossWorkersAndCache asserts the orchestrator's
+// core guarantee: rendered report output is byte-identical whether jobs run
+// on 1 worker or 8, and whether results come from fresh simulation or the
+// warm on-disk cache.
+func TestReportDeterministicAcrossWorkersAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := func(r *lab.Runner) Options {
+		return Options{Duration: 2 * event.Second, Seed: 1, Runner: r}
+	}
+
+	serial := renderSlice(opts(lab.New(1, nil)))
+	parallel := renderSlice(opts(lab.New(8, nil)))
+	if serial != parallel {
+		t.Fatal("report output differs between 1 and 8 workers")
+	}
+
+	cache, err := lab.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRunner := lab.New(8, cache)
+	cold := renderSlice(opts(coldRunner))
+	if cold != serial {
+		t.Fatal("cold-cache output differs from uncached output")
+	}
+	if s := coldRunner.Stats(); s.Simulated == 0 {
+		t.Fatalf("cold stats = %+v, expected simulations", s)
+	}
+
+	warmRunner := lab.New(8, cache)
+	warm := renderSlice(opts(warmRunner))
+	if warm != serial {
+		t.Fatal("warm-cache output differs from cold output")
+	}
+	s := warmRunner.Stats()
+	if s.Simulated != 0 {
+		t.Fatalf("warm stats = %+v, expected every simulation served from cache", s)
+	}
+	if s.Hits == 0 || s.Hits != coldRunner.Stats().Jobs {
+		t.Fatalf("warm stats = %+v, want %d hits", s, coldRunner.Stats().Jobs)
+	}
+}

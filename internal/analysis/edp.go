@@ -5,7 +5,7 @@ import (
 	"text/tabwriter"
 
 	"biglittle/internal/apps"
-	"biglittle/internal/core"
+	"biglittle/internal/lab"
 	"biglittle/internal/platform"
 )
 
@@ -45,14 +45,20 @@ func EDP(o Options) []EDPRow {
 	o = o.withDefaults()
 	all := apps.All()
 	cfgs := edpConfigs()
-	rows := make([]EDPRow, len(all)*len(cfgs))
-	forEach(len(all), func(ai int) {
-		app := all[ai]
-		bestIdx, bestEDP := -1, 0.0
-		for ci, cc := range cfgs {
+	jobs := make([]lab.Job, 0, len(all)*len(cfgs))
+	for _, app := range all {
+		for _, cc := range cfgs {
 			cfg := o.appConfig(app)
 			cfg.Cores = cc
-			r := core.Run(cfg)
+			jobs = append(jobs, job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
+	rows := make([]EDPRow, len(all)*len(cfgs))
+	for ai, app := range all {
+		bestIdx, bestEDP := -1, 0.0
+		for ci, cc := range cfgs {
+			r := res[ai*len(cfgs)+ci]
 
 			ops := float64(r.Interactions)
 			delay := r.MeanLatency.Seconds()
@@ -76,7 +82,7 @@ func EDP(o Options) []EDPRow {
 		if bestIdx >= 0 {
 			rows[bestIdx].Best = true
 		}
-	})
+	}
 	return rows
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"biglittle/internal/apps"
 	"biglittle/internal/core"
+	"biglittle/internal/lab"
 )
 
 // GovernorRow compares one app across DVFS governors, relative to the
@@ -26,14 +27,22 @@ func GovernorStudy(o Options) []GovernorRow {
 	o = o.withDefaults()
 	kinds := []core.GovernorKind{core.Ondemand, core.Conservative, core.PAST, core.Performance}
 	all := apps.All()
-	rows := make([]GovernorRow, len(all)*len(kinds))
-	forEach(len(all), func(ai int) {
-		app := all[ai]
-		base := core.Run(o.appConfig(app))
-		for ki, k := range kinds {
+	per := 1 + len(kinds)
+	jobs := make([]lab.Job, 0, len(all)*per)
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
+		for _, k := range kinds {
 			cfg := o.appConfig(app)
 			cfg.Governor = k
-			r := core.Run(cfg)
+			jobs = append(jobs, job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
+	rows := make([]GovernorRow, len(all)*len(kinds))
+	for ai, app := range all {
+		base := res[ai*per]
+		for ki, k := range kinds {
+			r := res[ai*per+1+ki]
 			rows[ai*len(kinds)+ki] = GovernorRow{
 				App:            app.Name,
 				Governor:       k.String(),
@@ -41,7 +50,7 @@ func GovernorStudy(o Options) []GovernorRow {
 				PowerChangePct: pct(r.AvgPowerMW, base.AvgPowerMW),
 			}
 		}
-	})
+	}
 	return rows
 }
 

@@ -5,8 +5,8 @@ import (
 	"text/tabwriter"
 
 	"biglittle/internal/apps"
-	"biglittle/internal/core"
 	"biglittle/internal/event"
+	"biglittle/internal/lab"
 )
 
 // IdleRow compares one app with and without the deep (cluster-sleep) idle
@@ -28,16 +28,18 @@ type IdleRow struct {
 func IdleStudy(o Options) []IdleRow {
 	o = o.withDefaults()
 	all := apps.All()
-	rows := make([]IdleRow, len(all))
-	forEach(len(all), func(i int) {
-		app := all[i]
-		base := core.Run(o.appConfig(app))
-
+	jobs := make([]lab.Job, 0, 2*len(all))
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
 		cfg := o.appConfig(app)
 		cfg.Sched.DeepIdleAfter = 2 * event.Millisecond
 		cfg.Sched.DeepIdleWake = event.Millisecond
-		r := core.Run(cfg)
-
+		jobs = append(jobs, job(cfg))
+	}
+	res := o.runAll(jobs)
+	rows := make([]IdleRow, len(all))
+	for i, app := range all {
+		base, r := res[2*i], res[2*i+1]
 		row := IdleRow{
 			App:            app.Name,
 			PowerSavingPct: pct(base.AvgPowerMW, r.AvgPowerMW),
@@ -47,7 +49,7 @@ func IdleStudy(o Options) []IdleRow {
 			row.MinFPSChange = pct(r.MinFPS, base.MinFPS)
 		}
 		rows[i] = row
-	})
+	}
 	return rows
 }
 

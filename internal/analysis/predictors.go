@@ -31,7 +31,7 @@ func PredictorStudy(o Options) []PredictorRow {
 	}
 	profiles := synth.SPEC()
 	rows := make([]PredictorRow, len(profiles))
-	forEach(len(profiles), func(i int) {
+	o.forEach(len(profiles), func(i int) {
 		p := profiles[i]
 		tr := bpred.Trace(p, n)
 		row := PredictorRow{

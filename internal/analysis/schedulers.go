@@ -6,6 +6,7 @@ import (
 
 	"biglittle/internal/apps"
 	"biglittle/internal/core"
+	"biglittle/internal/lab"
 )
 
 // SchedulerRow compares one app across the three §IV-A mapping policies:
@@ -30,10 +31,19 @@ func SchedulerStudy(o Options) []SchedulerRow {
 	all := apps.All()
 	kinds := []core.SchedulerKind{core.EfficiencyBased, core.ParallelismAware, core.EAS}
 	per := 1 + len(kinds)
+	jobs := make([]lab.Job, 0, len(all)*per)
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
+		for _, k := range kinds {
+			cfg := o.appConfig(app)
+			cfg.Scheduler = k
+			jobs = append(jobs, job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
 	rows := make([]SchedulerRow, len(all)*per)
-	forEach(len(all), func(ai int) {
-		app := all[ai]
-		base := core.Run(o.appConfig(app))
+	for ai, app := range all {
+		base := res[ai*per]
 		rows[ai*per] = SchedulerRow{
 			App:         app.Name,
 			Scheduler:   core.HMP.String(),
@@ -41,9 +51,7 @@ func SchedulerStudy(o Options) []SchedulerRow {
 			Migrations:  base.HMPMigrations,
 		}
 		for ki, k := range kinds {
-			cfg := o.appConfig(app)
-			cfg.Scheduler = k
-			r := core.Run(cfg)
+			r := res[ai*per+1+ki]
 			rows[ai*per+1+ki] = SchedulerRow{
 				App:            app.Name,
 				Scheduler:      k.String(),
@@ -53,7 +61,7 @@ func SchedulerStudy(o Options) []SchedulerRow {
 				Migrations:     r.HMPMigrations,
 			}
 		}
-	})
+	}
 	return rows
 }
 

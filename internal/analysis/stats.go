@@ -6,7 +6,7 @@ import (
 	"text/tabwriter"
 
 	"biglittle/internal/apps"
-	"biglittle/internal/core"
+	"biglittle/internal/lab"
 )
 
 // Stat is a mean with spread over repeated seeded runs.
@@ -64,18 +64,24 @@ func SeedStats(o Options, seeds int) []SeedStatsRow {
 		seeds = 2
 	}
 	all := apps.All()
+	jobs := make([]lab.Job, 0, len(all)*seeds)
+	for _, app := range all {
+		for s := 0; s < seeds; s++ {
+			cfg := o.appConfig(app)
+			cfg.Seed = o.Seed + int64(s)*7919 // distinct, deterministic seeds
+			jobs = append(jobs, job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
 	rows := make([]SeedStatsRow, len(all))
-	forEach(len(all), func(ai int) {
-		app := all[ai]
+	for ai, app := range all {
 		idle := make([]float64, seeds)
 		big := make([]float64, seeds)
 		tlp := make([]float64, seeds)
 		pw := make([]float64, seeds)
 		perf := make([]float64, seeds)
 		for s := 0; s < seeds; s++ {
-			cfg := o.appConfig(app)
-			cfg.Seed = o.Seed + int64(s)*7919 // distinct, deterministic seeds
-			r := core.Run(cfg)
+			r := res[ai*seeds+s]
 			idle[s] = r.TLP.IdlePct
 			big[s] = r.TLP.BigPct
 			tlp[s] = r.TLP.TLP
@@ -94,7 +100,7 @@ func SeedStats(o Options, seeds int) []SeedStatsRow {
 			PowerMW: newStat(pw),
 			Perf:    newStat(perf),
 		}
-	})
+	}
 	return rows
 }
 

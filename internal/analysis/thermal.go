@@ -7,6 +7,7 @@ import (
 	"biglittle/internal/apps"
 	"biglittle/internal/core"
 	"biglittle/internal/event"
+	"biglittle/internal/lab"
 	"biglittle/internal/thermal"
 )
 
@@ -51,7 +52,15 @@ func ThermalStudy(o Options) []ThermalRow {
 		suite = append(suite, app)
 	}
 	suite = append(suite, apps.Stress(4))
-	var rows []ThermalRow
+
+	type cell struct {
+		app     apps.App
+		mapping string
+	}
+	var (
+		cells []cell
+		jobs  []lab.Job
+	)
 	for _, app := range suite {
 		for _, mapping := range []string{"hmp", "big"} {
 			mutate := func(c *core.Config) {
@@ -64,27 +73,32 @@ func ThermalStudy(o Options) []ThermalRow {
 			}
 			base := o.appConfig(app)
 			mutate(&base)
-			cold := core.Run(base)
 
 			cfg := o.appConfig(app)
 			mutate(&cfg)
 			cfg.Thermal = &par
-			hot := core.Run(cfg)
 
-			perf := pct(hot.Performance(), cold.Performance())
-			if hot.Performance() == 0 {
-				perf = pct(hot.TotalWorkGc, cold.TotalWorkGc)
-			}
-			rows = append(rows, ThermalRow{
-				App:            app.Name,
-				Mapping:        mapping,
-				FPSFirstHalf:   hot.FPSFirstHalf,
-				FPSSecondHalf:  hot.FPSSecondHalf,
-				PerfChangePct:  perf,
-				PowerChangePct: pct(hot.AvgPowerMW, cold.AvgPowerMW),
-				MaxTempC:       hot.MaxTempC,
-				ThrottledPct:   hot.ThrottledPct,
-			})
+			cells = append(cells, cell{app, mapping})
+			jobs = append(jobs, job(base), job(cfg))
+		}
+	}
+	res := o.runAll(jobs)
+	rows := make([]ThermalRow, len(cells))
+	for i, c := range cells {
+		cold, hot := res[2*i], res[2*i+1]
+		perf := pct(hot.Performance(), cold.Performance())
+		if hot.Performance() == 0 {
+			perf = pct(hot.TotalWorkGc, cold.TotalWorkGc)
+		}
+		rows[i] = ThermalRow{
+			App:            c.app.Name,
+			Mapping:        c.mapping,
+			FPSFirstHalf:   hot.FPSFirstHalf,
+			FPSSecondHalf:  hot.FPSSecondHalf,
+			PerfChangePct:  perf,
+			PowerChangePct: pct(hot.AvgPowerMW, cold.AvgPowerMW),
+			MaxTempC:       hot.MaxTempC,
+			ThrottledPct:   hot.ThrottledPct,
 		}
 	}
 	return rows

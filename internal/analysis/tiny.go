@@ -5,7 +5,7 @@ import (
 	"text/tabwriter"
 
 	"biglittle/internal/apps"
-	"biglittle/internal/core"
+	"biglittle/internal/lab"
 	"biglittle/internal/platform"
 )
 
@@ -37,15 +37,17 @@ type TinyRow struct {
 func TinyStudy(o Options) []TinyRow {
 	o = o.withDefaults()
 	all := apps.All()
-	rows := make([]TinyRow, len(all))
-	forEach(len(all), func(i int) {
-		app := all[i]
-		base := core.Run(o.appConfig(app))
-
+	jobs := make([]lab.Job, 0, 2*len(all))
+	for _, app := range all {
+		jobs = append(jobs, job(o.appConfig(app)))
 		cfg := o.appConfig(app)
 		cfg.Cores = platform.CoreConfig{Tiny: 2, Little: 4, Big: 4}
-		r := core.Run(cfg)
-
+		jobs = append(jobs, job(cfg))
+	}
+	res := o.runAll(jobs)
+	rows := make([]TinyRow, len(all))
+	for i, app := range all {
+		base, r := res[2*i], res[2*i+1]
 		row := TinyRow{
 			App:            app.Name,
 			PowerSavingPct: pct(base.AvgPowerMW, r.AvgPowerMW),
@@ -57,7 +59,7 @@ func TinyStudy(o Options) []TinyRow {
 			row.MinFPSChange = pct(r.MinFPS, base.MinFPS)
 		}
 		rows[i] = row
-	})
+	}
 	return rows
 }
 

@@ -1,0 +1,111 @@
+// Package cli holds the flag plumbing shared by the experiment commands
+// (blreport, blsweep, bltlp): the -seed/-duration pair every command
+// carried its own copy of, the -workers/-cache-dir/-no-cache orchestration
+// flags, app-list resolution, and strict value-list parsing.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"biglittle/internal/analysis"
+	"biglittle/internal/apps"
+	"biglittle/internal/event"
+	"biglittle/internal/lab"
+)
+
+// Experiment bundles the flag values shared by the experiment commands.
+type Experiment struct {
+	Seed     int64
+	Duration time.Duration
+	Workers  int
+	CacheDir string
+	NoCache  bool
+}
+
+// RegisterExperiment installs the shared experiment flags on fs and returns
+// the struct their values land in (after fs.Parse).
+func RegisterExperiment(fs *flag.FlagSet, defaultDuration time.Duration) *Experiment {
+	e := &Experiment{}
+	fs.Int64Var(&e.Seed, "seed", 1, "workload random seed")
+	fs.DurationVar(&e.Duration, "duration", defaultDuration, "simulated duration per app run")
+	fs.IntVar(&e.Workers, "workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	fs.StringVar(&e.CacheDir, "cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/biglittle)")
+	fs.BoolVar(&e.NoCache, "no-cache", false, "disable the on-disk result cache")
+	return e
+}
+
+// Runner builds the experiment orchestrator the flags describe: the worker
+// pool plus (unless -no-cache) the content-addressed result cache.
+func (e *Experiment) Runner() (*lab.Runner, error) {
+	r := &lab.Runner{Workers: e.Workers}
+	if !e.NoCache {
+		c, err := lab.Open(e.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.Cache = c
+	}
+	return r, nil
+}
+
+// Options assembles the analysis options for the parsed flags and runner.
+func (e *Experiment) Options(r *lab.Runner) analysis.Options {
+	return analysis.Options{
+		Duration: event.Time(e.Duration.Nanoseconds()),
+		Seed:     e.Seed,
+		Runner:   r,
+	}
+}
+
+// ResolveApps returns the app named by an -app flag value, or the full
+// twelve-app suite when the value is empty.
+func ResolveApps(name string) ([]apps.App, error) {
+	if name == "" {
+		return apps.All(), nil
+	}
+	app, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []apps.App{app}, nil
+}
+
+// Ints parses a comma-separated integer list strictly: an empty list or any
+// unparseable element is an error, because a sweep over zero values would
+// otherwise silently produce an empty report.
+func Ints(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty value list %q", s)
+	}
+	return out, nil
+}
+
+// PrintLabStats writes the runner's job and cache counters to w — the
+// commands pass stderr, so report stdout stays byte-identical whatever the
+// cache state. A fully warm run shows "0 simulated".
+func PrintLabStats(w io.Writer, r *lab.Runner, elapsed time.Duration) {
+	s := r.Stats()
+	cache := "off"
+	if r.Cache != nil {
+		cache = r.Cache.Dir()
+	}
+	fmt.Fprintf(w, "lab: %d jobs: %d cache hits, %d misses, %d simulated, %d retried, %d failed in %s (cache %s)\n",
+		s.Jobs, s.Hits, s.Misses, s.Simulated, s.Retries, s.Failures, elapsed.Round(time.Millisecond), cache)
+}

@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+func TestIntsStrict(t *testing.T) {
+	got, err := Ints("10, 20,40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 40 {
+		t.Fatalf("Ints = %v", got)
+	}
+	for _, bad := range []string{"", ",", "  ,  ", "10,x,40", "1.5"} {
+		if _, err := Ints(bad); err == nil {
+			t.Errorf("Ints(%q): expected error", bad)
+		}
+	}
+}
+
+func TestResolveApps(t *testing.T) {
+	all, err := ResolveApps("")
+	if err != nil || len(all) != 12 {
+		t.Fatalf("ResolveApps(\"\") = %d apps, %v; want the twelve-app suite", len(all), err)
+	}
+	one, err := ResolveApps("bbench")
+	if err != nil || len(one) != 1 || one[0].Name != "bbench" {
+		t.Fatalf("ResolveApps(bbench) = %v, %v", one, err)
+	}
+	if _, err := ResolveApps("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestRegisterExperimentAndRunner(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	e := RegisterExperiment(fs, 15*time.Second)
+	if err := fs.Parse([]string{"-seed", "7", "-workers", "3", "-cache-dir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Seed != 7 || e.Duration != 15*time.Second || e.Workers != 3 {
+		t.Fatalf("parsed experiment = %+v", e)
+	}
+	r, err := e.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cache == nil {
+		t.Fatal("cache should be on by default")
+	}
+	o := e.Options(r)
+	if o.Seed != 7 || o.Runner != r {
+		t.Fatalf("options = %+v", o)
+	}
+
+	e.NoCache = true
+	r2, err := e.Runner()
+	if err != nil || r2.Cache != nil {
+		t.Fatalf("-no-cache runner = %+v, %v; want nil cache", r2, err)
+	}
+}

@@ -233,20 +233,28 @@ type TaskStat struct {
 	Migrations int
 }
 
+// Normalized returns cfg with every zero-valued field resolved to the same
+// default Run would apply, so two configs that produce identical simulations
+// compare (and fingerprint) identically.
+func (c Config) Normalized() Config {
+	if c.Duration <= 0 {
+		c.Duration = 30 * event.Second
+	}
+	if c.Cores == (platform.CoreConfig{}) {
+		c.Cores = platform.Baseline()
+	}
+	if c.Sched == (sched.Config{}) {
+		c.Sched = sched.DefaultConfig()
+	}
+	if c.Power == (power.Params{}) {
+		c.Power = power.Default()
+	}
+	return c
+}
+
 // Run executes one simulation and gathers its Result.
 func Run(cfg Config) Result {
-	if cfg.Duration <= 0 {
-		cfg.Duration = 30 * event.Second
-	}
-	if cfg.Cores == (platform.CoreConfig{}) {
-		cfg.Cores = platform.Baseline()
-	}
-	if cfg.Sched == (sched.Config{}) {
-		cfg.Sched = sched.DefaultConfig()
-	}
-	if cfg.Power == (power.Params{}) {
-		cfg.Power = power.Default()
-	}
+	cfg = cfg.Normalized()
 
 	eng := event.New()
 	var soc *platform.SoC

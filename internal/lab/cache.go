@@ -1,0 +1,309 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"biglittle/internal/core"
+)
+
+// schemaVersion invalidates every cached result when the blob layout or the
+// fingerprint definition changes. Bump it alongside such changes.
+const schemaVersion = "1"
+
+// CodeVersion identifies the simulator build whose results populate the
+// cache: the VCS revision stamped into the binary (suffixed "+dirty" for
+// modified working trees), or "dev" when no stamp is available (e.g. test
+// binaries). Results from different code versions live in different cache
+// subdirectories, so a code change invalidates warm results without ever
+// serving stale ones.
+func CodeVersion() string {
+	rev, dirty := "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// DefaultCacheDir is where results land when no -cache-dir is given:
+// $XDG_CACHE_HOME/biglittle (or the OS equivalent of ~/.cache/biglittle).
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("lab: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "biglittle"), nil
+}
+
+// Cache is a content-addressed store of simulation results: one JSON blob
+// per (fingerprint, code version), laid out as
+//
+//	<dir>/v<schema>-<code version>/<fp[:2]>/<fp>.json
+//
+// Reads verify the stored fingerprint and silently treat any corrupt,
+// truncated, or mismatched blob as a miss (deleting it), so a damaged cache
+// degrades to re-simulation, never to a wrong result. Writes go through a
+// temp file plus atomic rename, so concurrent writers of the same
+// fingerprint are safe (they produce identical content).
+type Cache struct {
+	dir     string // root directory
+	version string // v<schema>-<code version>
+}
+
+// Open returns a cache rooted at dir (""= DefaultCacheDir), creating the
+// current version directory.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		d, err := DefaultCacheDir()
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	c := &Cache{dir: dir, version: "v" + schemaVersion + "-" + CodeVersion()}
+	if err := os.MkdirAll(filepath.Join(dir, c.version), 0o755); err != nil {
+		return nil, fmt.Errorf("lab: create cache dir: %w", err)
+	}
+	return c, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Version returns the current version-directory name.
+func (c *Cache) Version() string { return c.version }
+
+// blob is the on-disk envelope around one cached result.
+type blob struct {
+	Fingerprint string      `json:"fingerprint"`
+	App         string      `json:"app"`
+	Salt        string      `json:"salt,omitempty"`
+	SavedAt     time.Time   `json:"saved_at"`
+	Result      core.Result `json:"result"`
+}
+
+func (c *Cache) path(fp string) string {
+	return filepath.Join(c.dir, c.version, fp[:2], fp+".json")
+}
+
+// Get loads the result stored for fp, reporting whether a valid entry was
+// found. Invalid entries are removed so the follow-up Put replaces them.
+func (c *Cache) Get(fp string) (core.Result, bool) {
+	if c == nil {
+		return core.Result{}, false
+	}
+	p := c.path(fp)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return core.Result{}, false
+	}
+	var b blob
+	if err := json.Unmarshal(data, &b); err != nil || b.Fingerprint != fp {
+		os.Remove(p)
+		return core.Result{}, false
+	}
+	return b.Result, true
+}
+
+// Put stores res under fp. A result that cannot be marshaled (NaN metrics,
+// say) is not an error worth failing the experiment over; the caller treats
+// a Put failure as "this run stays uncached".
+func (c *Cache) Put(fp, app, salt string, res core.Result) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(blob{
+		Fingerprint: fp,
+		App:         app,
+		Salt:        salt,
+		SavedAt:     time.Now().UTC(),
+		Result:      res,
+	})
+	if err != nil {
+		return fmt.Errorf("lab: marshal result: %w", err)
+	}
+	p := c.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Entry describes one cached result for inspection (bllab ls).
+type Entry struct {
+	Version     string
+	Fingerprint string
+	App         string
+	Salt        string
+	SizeB       int64
+	SavedAt     time.Time
+}
+
+// List returns every entry across all version directories, current or
+// stale, sorted by version then app then fingerprint.
+func (c *Cache) List() ([]Entry, error) {
+	versions, err := c.versionDirs()
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, ver := range versions {
+		root := filepath.Join(c.dir, ver)
+		err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() || filepath.Ext(p) != ".json" {
+				return err
+			}
+			e := Entry{Version: ver, SizeB: info.Size(), SavedAt: info.ModTime()}
+			if data, rerr := os.ReadFile(p); rerr == nil {
+				var b blob
+				if json.Unmarshal(data, &b) == nil {
+					e.Fingerprint, e.App, e.Salt = b.Fingerprint, b.App, b.Salt
+					if !b.SavedAt.IsZero() {
+						e.SavedAt = b.SavedAt
+					}
+				}
+			}
+			if e.Fingerprint == "" {
+				e.Fingerprint = filepath.Base(p[:len(p)-len(".json")])
+			}
+			out = append(out, e)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Version != out[j].Version {
+			return out[i].Version < out[j].Version
+		}
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out, nil
+}
+
+// PruneStale removes every version directory except the current one and
+// returns how many entries were deleted — the cleanup after a code change.
+func (c *Cache) PruneStale() (int, error) {
+	versions, err := c.versionDirs()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, ver := range versions {
+		if ver == c.version {
+			continue
+		}
+		n, err := countEntries(filepath.Join(c.dir, ver))
+		if err != nil {
+			return removed, err
+		}
+		if err := os.RemoveAll(filepath.Join(c.dir, ver)); err != nil {
+			return removed, err
+		}
+		removed += n
+	}
+	return removed, nil
+}
+
+// Invalidate removes current-version entries — all of them, or only those
+// belonging to the named app — and returns how many were deleted.
+func (c *Cache) Invalidate(app string) (int, error) {
+	if app == "" {
+		root := filepath.Join(c.dir, c.version)
+		n, err := countEntries(root)
+		if err != nil {
+			return 0, err
+		}
+		if err := os.RemoveAll(root); err != nil {
+			return 0, err
+		}
+		return n, os.MkdirAll(root, 0o755)
+	}
+	entries, err := c.List()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.Version != c.version || e.App != app {
+			continue
+		}
+		if err := os.Remove(c.path(e.Fingerprint)); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+func (c *Cache) versionDirs() ([]string, error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir() && len(de.Name()) > 1 && de.Name()[0] == 'v' {
+			out = append(out, de.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func countEntries(root string) (int, error) {
+	n := 0
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(p) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

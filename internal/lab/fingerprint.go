@@ -1,0 +1,86 @@
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/core"
+	"biglittle/internal/event"
+	"biglittle/internal/governor"
+	"biglittle/internal/platform"
+	"biglittle/internal/power"
+	"biglittle/internal/sched"
+	"biglittle/internal/thermal"
+)
+
+// print is the canonical, serializable view of a resolved job config. It is
+// marshaled with encoding/json — which sorts map keys — and hashed, so the
+// fingerprint is stable across processes and field-by-field explicit: adding
+// a Config field without extending print is a (reviewable) cache-correctness
+// decision, not a silent behavior change.
+type print struct {
+	App       string                     `json:"app"`
+	Desc      string                     `json:"desc"`
+	Metric    apps.Metric                `json:"metric"`
+	Salt      string                     `json:"salt,omitempty"`
+	Seed      int64                      `json:"seed"`
+	Duration  event.Time                 `json:"duration"`
+	Cores     platform.CoreConfig        `json:"cores"`
+	Sched     sched.Config               `json:"sched"`
+	Scheduler core.SchedulerKind         `json:"scheduler"`
+	Governor  core.GovernorKind          `json:"governor"`
+	Gov       governor.InteractiveConfig `json:"gov"`
+	PinnedMHz map[int]int                `json:"pinned_mhz,omitempty"`
+	Power     power.Params               `json:"power"`
+	Platform  string                     `json:"platform,omitempty"`
+	Thermal   *thermal.Params            `json:"thermal,omitempty"`
+}
+
+// Fingerprint returns the content hash identifying a job's simulation, and
+// whether the job is cacheable at all. Uncacheable jobs are those whose
+// config carries live observers or opaque hooks that the cache could not
+// replay on a hit:
+//
+//   - OnSystem may mutate the assembled system arbitrarily;
+//   - Telemetry and Profiler side effects (events, attribution) would be
+//     silently skipped if the result came from disk;
+//   - a Platform constructor returning an unnamed SoC has no stable identity.
+//
+// Such jobs still run through the worker pool; they just always simulate.
+func Fingerprint(job Job) (string, bool) {
+	cfg := job.Config.Normalized()
+	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil {
+		return "", false
+	}
+	p := print{
+		App:       cfg.App.Name,
+		Desc:      cfg.App.Desc,
+		Metric:    cfg.App.Metric,
+		Salt:      job.Salt,
+		Seed:      cfg.Seed,
+		Duration:  cfg.Duration,
+		Cores:     cfg.Cores,
+		Sched:     cfg.Sched,
+		Scheduler: cfg.Scheduler,
+		Governor:  cfg.Governor,
+		Gov:       cfg.Gov,
+		PinnedMHz: cfg.PinnedMHz,
+		Power:     cfg.Power,
+		Thermal:   cfg.Thermal,
+	}
+	if cfg.Platform != nil {
+		soc := cfg.Platform()
+		if soc == nil || soc.Name == "" {
+			return "", false
+		}
+		p.Platform = soc.Name
+	}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return "", false
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), true
+}

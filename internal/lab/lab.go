@@ -1,0 +1,294 @@
+// Package lab is the experiment orchestrator: it turns every simulation
+// into a declarative Job, fans jobs out over a bounded worker pool, and
+// memoizes completed results in a content-addressed on-disk cache so warm
+// re-runs skip simulation entirely.
+//
+// Three properties make it safe to put under every paper-reproduction
+// driver:
+//
+//   - Determinism: RunAll returns results in job-submission order no matter
+//     which worker finished first, and the simulator itself is a
+//     single-threaded deterministic event engine — so report output is
+//     byte-identical for 1 worker or N, cold cache or warm.
+//   - Isolation: each job runs a fresh, isolated engine. Observers that are
+//     not goroutine-safe (telemetry.Collector, trace.Recorder) must be
+//     per-job; the Prepare hook exists so each job can construct its own.
+//   - Robustness: a panicking job is recovered and retried a bounded number
+//     of times; a hung job can be abandoned on a per-job timeout; a corrupt
+//     cache blob falls back to re-simulation.
+package lab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"biglittle/internal/core"
+	"biglittle/internal/telemetry"
+)
+
+// Job is one declarative experiment: a fully resolved simulation config
+// plus optional orchestration hooks.
+type Job struct {
+	Config core.Config
+
+	// Salt is extra fingerprint material for call sites where the config
+	// alone under-identifies the run — e.g. composite apps whose background
+	// set is hidden inside App.Build.
+	Salt string
+
+	// Prepare, if set, runs in the worker immediately before simulation and
+	// may attach per-job observers (a fresh telemetry.Collector, a
+	// trace.Recorder via OnSystem, ...) to the config copy it receives.
+	// Jobs whose final config carries observers are never cached.
+	Prepare func(*core.Config)
+}
+
+// Stats counts what a runner did. Hits+Simulated = completed jobs (when
+// nothing failed); on a fully warm cache Simulated is zero.
+type Stats struct {
+	Jobs      int64 // jobs submitted
+	Hits      int64 // results served from cache
+	Misses    int64 // cache lookups that missed (cacheable jobs only)
+	Simulated int64 // simulations actually executed
+	Stored    int64 // results written to cache
+	Retries   int64 // extra attempts after a panic or timeout
+	Failures  int64 // jobs that exhausted their attempts
+}
+
+// Runner executes jobs on a worker pool with caching. The zero value is
+// usable: GOMAXPROCS workers, no cache, no telemetry, no timeout, one retry.
+type Runner struct {
+	// Workers caps concurrent simulations (<=0: GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, memoizes results by content fingerprint.
+	Cache *Cache
+	// Tel, when non-nil, receives progress and cache hit/miss counters
+	// ("lab_jobs", "lab_cache_hits", "lab_cache_misses", "lab_simulations",
+	// "lab_retries", "lab_failures"). The collector is not goroutine-safe,
+	// so the runner serializes all its own emissions behind one mutex; do
+	// not share this collector with concurrently running jobs.
+	Tel *telemetry.Collector
+	// Timeout abandons a single simulation after this much wall-clock time
+	// (0: none). The abandoned goroutine cannot be killed — it drains in the
+	// background and its result is discarded — so treat a timeout as a bug
+	// signal, not a scheduling tool.
+	Timeout time.Duration
+	// Retries is how many extra attempts a panicking or timed-out job gets
+	// (<0: none; 0: the default of 1).
+	Retries int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns a runner with the given worker count and cache.
+func New(workers int, cache *Cache) *Runner {
+	return &Runner{Workers: workers, Cache: cache}
+}
+
+var defaultRunner = sync.OnceValue(func() *Runner { return &Runner{} })
+
+// Default returns the shared process-wide runner: GOMAXPROCS workers, no
+// cache. It is what analysis drivers use when no runner is configured.
+func Default() *Runner { return defaultRunner() }
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (r *Runner) retries() int {
+	switch {
+	case r.Retries < 0:
+		return 0
+	case r.Retries == 0:
+		return 1
+	default:
+		return r.Retries
+	}
+}
+
+// count applies fn to the stats and mirrors named counters into the
+// attached telemetry registry, all under one lock (the Collector is not
+// goroutine-safe).
+func (r *Runner) count(fn func(*Stats), counters ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(&r.stats)
+	for _, name := range counters {
+		r.Tel.Counter(name).Inc()
+	}
+}
+
+// RunAll executes every job and returns the results in submission order.
+// The first error (by submission order) is returned after all jobs finish;
+// its result slot is the zero Result. Configs are values: the caller's jobs
+// are never mutated.
+func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
+	results := make([]core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	r.ForEach(len(jobs), func(i int) {
+		results[i], errs[i] = r.runOne(jobs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// RunConfigs is RunAll over bare configs.
+func (r *Runner) RunConfigs(cfgs []core.Config) ([]core.Result, error) {
+	jobs := make([]Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = Job{Config: cfg}
+	}
+	return r.RunAll(jobs)
+}
+
+// Run executes a single job (still counted, cached, and recovered).
+func (r *Runner) Run(job Job) (core.Result, error) {
+	return r.runOne(job)
+}
+
+// ForEach runs fn(i) for i in [0, n) on the worker pool with a bounded
+// queue, for fan-out work that is not a core simulation (microarchitecture
+// sweeps, branch-predictor traces). A panic in fn is re-raised in the
+// caller once every worker has drained.
+func (r *Runner) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := r.workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg      sync.WaitGroup
+		next    = make(chan int, workers)
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panicMu.Lock()
+							if panicV == nil {
+								panicV = p
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// runOne resolves one job: cache lookup, then bounded simulation attempts.
+func (r *Runner) runOne(job Job) (core.Result, error) {
+	r.count(func(s *Stats) { s.Jobs++ }, "lab_jobs")
+
+	cfg := job.Config
+	if job.Prepare != nil {
+		job.Prepare(&cfg)
+	}
+	probe := Job{Config: cfg, Salt: job.Salt}
+	fp, cacheable := Fingerprint(probe)
+	cacheable = cacheable && r.Cache != nil
+	if cacheable {
+		if res, ok := r.Cache.Get(fp); ok {
+			r.count(func(s *Stats) { s.Hits++ }, "lab_cache_hits")
+			return res, nil
+		}
+		r.count(func(s *Stats) { s.Misses++ }, "lab_cache_misses")
+	}
+
+	var err error
+	for attempt := 0; attempt <= r.retries(); attempt++ {
+		if attempt > 0 {
+			r.count(func(s *Stats) { s.Retries++ }, "lab_retries")
+		}
+		var res core.Result
+		res, err = r.attempt(cfg)
+		if err != nil {
+			continue
+		}
+		r.count(func(s *Stats) { s.Simulated++ }, "lab_simulations")
+		if cacheable {
+			if perr := r.Cache.Put(fp, cfg.App.Name, job.Salt, res); perr == nil {
+				r.count(func(s *Stats) { s.Stored++ })
+			}
+		}
+		return res, nil
+	}
+	r.count(func(s *Stats) { s.Failures++ }, "lab_failures")
+	return core.Result{}, err
+}
+
+type outcome struct {
+	res core.Result
+	err error
+}
+
+// attempt runs one simulation with panic recovery and the optional
+// wall-clock timeout.
+func (r *Runner) attempt(cfg core.Config) (core.Result, error) {
+	ch := make(chan outcome, 1) // buffered: an abandoned attempt must not leak
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("lab: job %q panicked: %v", cfg.App.Name, p)}
+			}
+		}()
+		ch <- outcome{res: core.Run(cfg)}
+	}()
+	if r.Timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	t := time.NewTimer(r.Timeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-t.C:
+		return core.Result{}, fmt.Errorf("lab: job %q exceeded timeout %v", cfg.App.Name, r.Timeout)
+	}
+}

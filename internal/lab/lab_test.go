@@ -1,0 +1,342 @@
+package lab
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/core"
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/sched"
+	"biglittle/internal/telemetry"
+	"biglittle/internal/trace"
+	"biglittle/internal/workload"
+)
+
+func testApp(t *testing.T) apps.App {
+	t.Helper()
+	app, err := apps.ByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func testConfig(t *testing.T) core.Config {
+	cfg := core.DefaultConfig(testApp(t))
+	cfg.Duration = 500 * event.Millisecond
+	return cfg
+}
+
+func TestFingerprintStable(t *testing.T) {
+	cfg := testConfig(t)
+	fp1, ok1 := Fingerprint(Job{Config: cfg})
+	fp2, ok2 := Fingerprint(Job{Config: cfg})
+	if !ok1 || !ok2 {
+		t.Fatal("baseline config should be cacheable")
+	}
+	if fp1 != fp2 {
+		t.Fatalf("same config hashed differently: %s vs %s", fp1, fp2)
+	}
+
+	// Zero-value fields resolve to the same defaults Run applies, so a
+	// sparse config and its fully-resolved twin must share a fingerprint.
+	sparse := core.Config{App: cfg.App, Seed: cfg.Seed, Duration: cfg.Duration}
+	sparse.Gov = cfg.Gov // Gov default depends on Governor, deliberately not normalized
+	fpSparse, ok := Fingerprint(Job{Config: sparse})
+	if !ok || fpSparse != fp1 {
+		t.Fatalf("normalized sparse config fingerprint = %s, want %s", fpSparse, fp1)
+	}
+
+	seeded := cfg
+	seeded.Seed = 99
+	if fp, _ := Fingerprint(Job{Config: seeded}); fp == fp1 {
+		t.Fatal("different seed must change the fingerprint")
+	}
+	if fp, _ := Fingerprint(Job{Config: cfg, Salt: "variant"}); fp == fp1 {
+		t.Fatal("salt must change the fingerprint")
+	}
+}
+
+func TestFingerprintUncacheable(t *testing.T) {
+	base := testConfig(t)
+
+	withTel := base
+	withTel.Telemetry = telemetry.NewCollector()
+	if _, ok := Fingerprint(Job{Config: withTel}); ok {
+		t.Fatal("config with a telemetry collector must not be cacheable")
+	}
+
+	withHook := base
+	withHook.OnSystem = func(*sched.System) {}
+	if _, ok := Fingerprint(Job{Config: withHook}); ok {
+		t.Fatal("config with an OnSystem hook must not be cacheable")
+	}
+
+	unnamed := base
+	unnamed.Platform = func() *platform.SoC {
+		soc := platform.Exynos5422()
+		soc.Name = ""
+		return soc
+	}
+	if _, ok := Fingerprint(Job{Config: unnamed}); ok {
+		t.Fatal("unnamed custom platform must not be cacheable")
+	}
+
+	named := base
+	named.Platform = platform.Snapdragon810
+	if _, ok := Fingerprint(Job{Config: named}); !ok {
+		t.Fatal("named platform preset should be cacheable")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+	fp, ok := Fingerprint(Job{Config: cfg})
+	if !ok {
+		t.Fatal("expected cacheable config")
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("empty cache should miss")
+	}
+	want := core.Run(cfg)
+	if err := cache.Put(fp, cfg.App.Name, "", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(fp)
+	if !ok {
+		t.Fatal("expected a hit after Put")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cached result does not round-trip")
+	}
+
+	entries, err := cache.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].App != cfg.App.Name || entries[0].Fingerprint != fp {
+		t.Fatalf("List = %+v, want one %s entry", entries, cfg.App.Name)
+	}
+
+	if n, err := cache.Invalidate(cfg.App.Name); err != nil || n != 1 {
+		t.Fatalf("Invalidate = %d, %v; want 1, nil", n, err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("invalidated entry should miss")
+	}
+}
+
+func TestPruneStale(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fake an older code version's entry.
+	stale := filepath.Join(dir, "v1-oldrev", "ab")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, "abcd.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cache.PruneStale()
+	if err != nil || n != 1 {
+		t.Fatalf("PruneStale = %d, %v; want 1, nil", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v1-oldrev")); !os.IsNotExist(err) {
+		t.Fatal("stale version dir should be removed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, cache.Version())); err != nil {
+		t.Fatal("current version dir must survive pruning")
+	}
+}
+
+func TestWarmRunSkipsSimulation(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []core.Config{testConfig(t)}
+	seeded := testConfig(t)
+	seeded.Seed = 7
+	cfgs = append(cfgs, seeded)
+
+	cold := New(2, cache)
+	coldRes, err := cold.RunConfigs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Simulated != 2 || s.Hits != 0 || s.Stored != 2 {
+		t.Fatalf("cold stats = %+v, want 2 simulated, 0 hits, 2 stored", s)
+	}
+
+	warm := New(2, cache)
+	warmRes, err := warm.RunConfigs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Simulated != 0 || s.Hits != 2 {
+		t.Fatalf("warm stats = %+v, want 0 simulated, 2 hits", s)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatal("warm results differ from cold results")
+	}
+}
+
+func TestCorruptBlobFallsBackToSimulation(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+	fp, _ := Fingerprint(Job{Config: cfg})
+
+	cold := New(1, cache)
+	want, err := cold.Run(Job{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the blob on disk to garbage.
+	p := filepath.Join(cache.Dir(), cache.Version(), fp[:2], fp+".json")
+	if err := os.WriteFile(p, []byte(`{"fingerprint":"wrong`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(1, cache)
+	got, err := warm.Run(Job{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Stats()
+	if s.Hits != 0 || s.Misses != 1 || s.Simulated != 1 {
+		t.Fatalf("corrupt-blob stats = %+v, want miss + re-simulation", s)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("re-simulated result differs from original")
+	}
+	// The repaired entry must serve the next run.
+	again := New(1, cache)
+	if _, err := again.Run(Job{Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if s := again.Stats(); s.Hits != 1 {
+		t.Fatalf("post-repair stats = %+v, want a hit", s)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	var jobs []Job
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := testConfig(t)
+		cfg.Seed = seed
+		jobs = append(jobs, Job{Config: cfg})
+	}
+	serial := New(1, nil)
+	wide := New(8, nil)
+	r1, err1 := serial.RunAll(jobs)
+	rN, errN := wide.RunAll(jobs)
+	if err1 != nil || errN != nil {
+		t.Fatal(err1, errN)
+	}
+	if !reflect.DeepEqual(r1, rN) {
+		t.Fatal("results differ between 1 and 8 workers")
+	}
+}
+
+func TestPanicRecoveryAndRetry(t *testing.T) {
+	app := apps.App{Name: "panicky", Desc: "always panics", Build: func(*workload.Ctx) {
+		panic("boom")
+	}}
+	cfg := core.DefaultConfig(app)
+	cfg.Duration = 100 * event.Millisecond
+
+	r := New(1, nil)
+	_, err := r.Run(Job{Config: cfg})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	s := r.Stats()
+	if s.Retries != 1 || s.Failures != 1 {
+		t.Fatalf("stats = %+v, want 1 retry and 1 failure", s)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	app := apps.App{Name: "hung", Desc: "sleeps on the wall clock", Build: func(*workload.Ctx) {
+		time.Sleep(30 * time.Second)
+	}}
+	cfg := core.DefaultConfig(app)
+	cfg.Duration = 100 * event.Millisecond
+
+	r := &Runner{Workers: 1, Timeout: 20 * time.Millisecond, Retries: -1}
+	start := time.Now()
+	_, err := r.Run(Job{Config: cfg})
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("err = %v, want timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, should abandon promptly", elapsed)
+	}
+	if s := r.Stats(); s.Failures != 1 {
+		t.Fatalf("stats = %+v, want 1 failure", s)
+	}
+}
+
+// TestRaceJobOwnedObservers is the goroutine-safety regression test: under
+// -race, many concurrent jobs each attach their own telemetry collector and
+// trace recorder via Prepare, which must not race because no observer is
+// shared across workers.
+func TestRaceJobOwnedObservers(t *testing.T) {
+	type observed struct {
+		tel *telemetry.Collector
+		rec *trace.Recorder
+	}
+	const n = 8
+	obs := make([]observed, n)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		cfg := testConfig(t)
+		cfg.Seed = int64(i + 1)
+		jobs[i] = Job{Config: cfg, Prepare: func(c *core.Config) {
+			tel := telemetry.NewCollector()
+			c.Telemetry = tel
+			c.OnSystem = func(sys *sched.System) {
+				obs[i].rec = trace.Attach(sys, 0, c.Duration)
+			}
+			obs[i].tel = tel
+		}}
+	}
+	r := New(4, nil)
+	r.Tel = telemetry.NewCollector() // the runner's own counters, serialized internally
+	if _, err := r.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs {
+		if o.tel == nil || o.tel.TotalEvents() == 0 {
+			t.Fatalf("job %d: expected a populated per-job collector", i)
+		}
+		if o.rec == nil {
+			t.Fatalf("job %d: expected an attached trace recorder", i)
+		}
+	}
+	s := r.Stats()
+	if s.Jobs != n || s.Simulated != n {
+		t.Fatalf("stats = %+v, want %d jobs all simulated", s, n)
+	}
+	if got := r.Tel.Counter("lab_simulations").Value(); got != n {
+		t.Fatalf("lab_simulations counter = %d, want %d", got, n)
+	}
+}

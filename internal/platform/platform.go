@@ -111,6 +111,10 @@ func (c *Cluster) ClampDownMHz(mhz int) int {
 
 // SoC is the modeled system-on-chip.
 type SoC struct {
+	// Name identifies the preset ("exynos5422", "snapdragon810", ...).
+	// Custom SoCs may leave it empty; experiment-result caching treats an
+	// unnamed platform as unidentifiable and skips caching such runs.
+	Name     string
 	Cores    []Core
 	Clusters []Cluster
 }
@@ -124,7 +128,7 @@ func Exynos5422() *SoC {
 	big := Cluster{ID: 1, Type: Big, FreqsMHz: freqTable(800, 1900), CoreIDs: []int{4, 5, 6, 7}}
 	little.CurMHz = little.MinMHz()
 	big.CurMHz = big.MinMHz()
-	s := &SoC{Clusters: []Cluster{little, big}}
+	s := &SoC{Name: "exynos5422", Clusters: []Cluster{little, big}}
 	for i := 0; i < 8; i++ {
 		t, cl := Little, 0
 		if i >= 4 {
@@ -143,6 +147,7 @@ func Exynos5422() *SoC {
 // is not worth carrying.
 func Exynos5422Tiny() *SoC {
 	s := Exynos5422()
+	s.Name = "exynos5422-tiny"
 	tiny := Cluster{ID: 2, Type: Tiny, FreqsMHz: freqTable(600, 600), CoreIDs: []int{8, 9}}
 	tiny.CurMHz = tiny.MinMHz()
 	s.Clusters = append(s.Clusters, tiny)
@@ -163,7 +168,7 @@ func Snapdragon810() *SoC {
 	big := Cluster{ID: 1, Type: Big, FreqsMHz: freqTable(600, 2000), CoreIDs: []int{4, 5, 6, 7}}
 	little.CurMHz = little.MinMHz()
 	big.CurMHz = big.MinMHz()
-	s := &SoC{Clusters: []Cluster{little, big}}
+	s := &SoC{Name: "snapdragon810", Clusters: []Cluster{little, big}}
 	for i := 0; i < 8; i++ {
 		t, cl := Little, 0
 		if i >= 4 {
