@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke serve-smoke report quick-report report-par cover fmt vet all
+.PHONY: build test test-race bench bench-smoke serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -57,8 +57,40 @@ report-par:
 		cmp /tmp/report-cold.txt /tmp/report-warm.txt || { echo "report-par: cold and warm output differ" >&2; exit 1; }; \
 		echo "report-par: OK"
 
+# Line-coverage floors for the simulation kernel packages. The profile can
+# contain one copy of each block per test binary, so blocks are deduplicated
+# by location before aggregating per package.
 cover:
-	go test ./internal/... . -cover
+	go test -coverpkg=./internal/core,./internal/sched,./internal/platform \
+		-coverprofile=/tmp/biglittle-cover.out ./... > /dev/null
+	awk 'NR>1 {key=$$1; stmts[key]=$$2; if ($$3>0) hit[key]=1} \
+		END { \
+			floors["biglittle/internal/core"]=90; \
+			floors["biglittle/internal/sched"]=88; \
+			floors["biglittle/internal/platform"]=90; \
+			bad=0; \
+			for (k in stmts) {p=k; sub(/:.*/, "", p); sub(/\/[^\/]*$$/, "", p); total[p]+=stmts[k]; if (hit[k]) cov[p]+=stmts[k]} \
+			for (p in floors) { \
+				pct = total[p] ? 100*cov[p]/total[p] : 0; \
+				status = pct >= floors[p] ? "ok" : "BELOW FLOOR"; \
+				printf "cover: %-30s %5.1f%% (floor %d%%) %s\n", p, pct, floors[p], status; \
+				if (pct < floors[p]) bad=1; \
+			} \
+			exit bad \
+		}' /tmp/biglittle-cover.out
+
+# 30 s of native fuzzing per target — a smoke pass over the three parser
+# fuzzers, not a deep campaign (go test runs one -fuzz target at a time).
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s ./internal/spec/
+	go test -run '^$$' -fuzz '^FuzzParseCoreConfig$$' -fuzztime 30s ./internal/platform/
+	go test -run '^$$' -fuzz '^FuzzInts$$' -fuzztime 30s ./internal/cli/
+
+# Regenerate the golden-master corpus after an intentional model change; the
+# resulting testdata/golden diff documents exactly which numbers moved.
+golden-update:
+	go test -run TestGoldenMaster . -golden-update
+	@echo "golden-update: testdata/golden regenerated — review the diff before committing"
 
 fmt:
 	gofmt -w .

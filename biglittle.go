@@ -26,6 +26,7 @@ package biglittle
 import (
 	"biglittle/internal/apps"
 	"biglittle/internal/battery"
+	"biglittle/internal/check"
 	"biglittle/internal/core"
 	"biglittle/internal/event"
 	"biglittle/internal/governor"
@@ -345,3 +346,30 @@ func GalaxyS5Pack() battery.Pack { return battery.GalaxyS5() }
 
 // BatteryPack describes a battery for session drain accounting.
 type BatteryPack = battery.Pack
+
+// Auditor is the runtime invariant checker. Set one as Config.Check (or
+// SessionConfig.Check) to continuously verify the simulator's conservation
+// laws during a run — legal cluster frequencies, the "one little core always
+// online" hotplug constraint, monotone virtual time, per-core time
+// accounting, and energy as the integral of modeled power — and reconcile
+// end-of-run totals. The auditor is a pure observer: an audited run produces
+// byte-identical results. A nil *Auditor disables auditing at the cost of
+// one pointer check per hook site.
+type Auditor = check.Auditor
+
+// CheckReport is an auditor's final accounting: counters, reconciled totals,
+// and every violation found.
+type CheckReport = check.Report
+
+// CheckViolation is one invariant violation (timestamp, invariant name,
+// detail).
+type CheckViolation = check.Violation
+
+// NewAuditor creates an enabled invariant auditor.
+func NewAuditor() *Auditor { return check.New() }
+
+// CheckResult validates a finished Result for internal consistency — the
+// cross-metric identities that must hold however the run went. It needs no
+// live system, so it also applies to results loaded from the lab cache or a
+// JSON file.
+func CheckResult(r Result) []CheckViolation { return check.CheckResult(r) }

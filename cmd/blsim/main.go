@@ -34,6 +34,7 @@ func main() {
 		weight   = flag.Int("weight", 32, "HMP load history half-life (ms)")
 		matrix   = flag.Bool("matrix", false, "print the Table IV active-core matrix")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON instead of text")
+		doCheck  = flag.Bool("check", false, "audit the run with the invariant checker; exit 2 on any violation")
 	)
 	flag.Parse()
 
@@ -87,7 +88,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	var aud *biglittle.Auditor
+	if *doCheck {
+		aud = biglittle.NewAuditor()
+		cfg.Check = aud
+	}
+
 	r := biglittle.Run(cfg)
+
+	if aud != nil {
+		rep := aud.Report()
+		rep.Violations = append(rep.Violations, biglittle.CheckResult(r)...)
+		fmt.Fprint(os.Stderr, rep.String())
+		if !rep.Ok() {
+			os.Exit(2)
+		}
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,107 @@
+package biglittle_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"biglittle"
+)
+
+// The golden-master corpus pins the full simulator output — every app on
+// every §V-C hotplug configuration — byte for byte. Any model change that
+// moves a number shows up as a diff here; deliberate changes regenerate the
+// corpus with `make golden-update` and the diff documents exactly what moved.
+var updateGolden = flag.Bool("golden-update", false, "rewrite testdata/golden from current simulator output")
+
+const goldenDur = 4 * biglittle.Second
+
+// goldenRender is a compact, fully deterministic view of one result. It
+// prints through %v/%.3f only — no maps, no pointers — so equal results
+// always render to equal bytes.
+func goldenRender(cc biglittle.CoreConfig, r biglittle.Result) string {
+	var b strings.Builder
+	perf := fmt.Sprintf("fps=%.3f min=%.3f frames=%d", r.AvgFPS, r.MinFPS, r.Frames)
+	if r.Metric == biglittle.Latency {
+		perf = fmt.Sprintf("lat=%v worst=%v n=%d", r.MeanLatency, r.WorstLatency, r.Interactions)
+	}
+	fmt.Fprintf(&b, "%v: %s power=%.3fmW energy=%.3fmJ work=%.3fGc mig=%d\n",
+		cc, perf, r.AvgPowerMW, r.EnergyMJ, r.TotalWorkGc, r.HMPMigrations)
+	fmt.Fprintf(&b, "  tlp=%.4f idle=%.3f%% littleonly=%.3f%% big=%.3f%% lutil=%.4f butil=%.4f\n",
+		r.TLP.TLP, r.TLP.IdlePct, r.TLP.LittleOnlyPct, r.TLP.BigPct, r.AvgLittleUtil, r.AvgBigUtil)
+	fmt.Fprintf(&b, "  eff=[%.3f %.3f %.3f %.3f %.3f %.3f]\n",
+		r.Eff[0], r.Eff[1], r.Eff[2], r.Eff[3], r.Eff[4], r.Eff[5])
+	b.WriteString("  lres=")
+	for i, v := range r.LittleResidency {
+		fmt.Fprintf(&b, "%d:%.2f ", r.LittleFreqs[i], v)
+	}
+	b.WriteString("\n  bres=")
+	for i, v := range r.BigResidency {
+		fmt.Fprintf(&b, "%d:%.2f ", r.BigFreqs[i], v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func TestGoldenMaster(t *testing.T) {
+	for _, app := range biglittle.Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			var b strings.Builder
+			fmt.Fprintf(&b, "golden master: %s, seed 1, %v per config\n", app.Name, goldenDur)
+			for _, cc := range biglittle.StudyConfigs() {
+				aud := biglittle.NewAuditor()
+				cfg := biglittle.DefaultConfig(app)
+				cfg.Duration = goldenDur
+				cfg.Cores = cc
+				cfg.Check = aud
+				r := biglittle.Run(cfg)
+				if rep := aud.Report(); !rep.Ok() {
+					t.Fatalf("%s on %v violated invariants:\n%s", app.Name, cc, rep)
+				}
+				if vs := biglittle.CheckResult(r); len(vs) != 0 {
+					t.Fatalf("%s on %v failed the result self-check: %v", app.Name, cc, vs)
+				}
+				b.WriteString(goldenRender(cc, r))
+			}
+			got := b.String()
+
+			path := filepath.Join("testdata", "golden", app.Name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file for %s (regenerate with `make golden-update`): %v", app.Name, err)
+			}
+			if string(want) == got {
+				return
+			}
+			wantLines := strings.Split(string(want), "\n")
+			gotLines := strings.Split(got, "\n")
+			for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+				w, g := "", ""
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				if i < len(gotLines) {
+					g = gotLines[i]
+				}
+				if w != g {
+					t.Fatalf("golden mismatch for %s at line %d:\n  golden:  %s\n  current: %s\n(if the model change is intentional, run `make golden-update` and commit the diff)",
+						app.Name, i+1, w, g)
+				}
+			}
+		})
+	}
+}

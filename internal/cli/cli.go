@@ -25,6 +25,7 @@ type Experiment struct {
 	Workers  int
 	CacheDir string
 	NoCache  bool
+	Check    bool
 }
 
 // RegisterExperiment installs the shared experiment flags on fs and returns
@@ -36,13 +37,14 @@ func RegisterExperiment(fs *flag.FlagSet, defaultDuration time.Duration) *Experi
 	fs.IntVar(&e.Workers, "workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/biglittle)")
 	fs.BoolVar(&e.NoCache, "no-cache", false, "disable the on-disk result cache")
+	fs.BoolVar(&e.Check, "check", false, "audit every run with the invariant checker; cache hits are re-simulated and compared")
 	return e
 }
 
 // Runner builds the experiment orchestrator the flags describe: the worker
 // pool plus (unless -no-cache) the content-addressed result cache.
 func (e *Experiment) Runner() (*lab.Runner, error) {
-	r := &lab.Runner{Workers: e.Workers}
+	r := &lab.Runner{Workers: e.Workers, Check: e.Check}
 	if !e.NoCache {
 		c, err := lab.Open(e.CacheDir)
 		if err != nil {
@@ -108,4 +110,7 @@ func PrintLabStats(w io.Writer, r *lab.Runner, elapsed time.Duration) {
 	}
 	fmt.Fprintf(w, "lab: %d jobs: %d cache hits, %d misses, %d simulated, %d retried, %d failed in %s (cache %s)\n",
 		s.Jobs, s.Hits, s.Misses, s.Simulated, s.Retries, s.Failures, elapsed.Round(time.Millisecond), cache)
+	if r.Check {
+		fmt.Fprintf(w, "lab: audit: %d runs verified, %d failed\n", s.Audited, s.AuditFailures)
+	}
 }

@@ -1,0 +1,26 @@
+package cli
+
+import "testing"
+
+// FuzzInts: the strict value-list parser must never panic, and an accepted
+// list is never empty (the contract sweeps rely on).
+func FuzzInts(f *testing.F) {
+	f.Add("1,2,3")
+	f.Add("500, 1000, 1300")
+	f.Add("")
+	f.Add(",")
+	f.Add(" , , ")
+	f.Add("1,,2")
+	f.Add("-4")
+	f.Add("1,x")
+	f.Add("9999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := Ints(s)
+		if err != nil {
+			return
+		}
+		if len(out) == 0 {
+			t.Fatalf("Ints(%q) accepted an empty list", s)
+		}
+	})
+}

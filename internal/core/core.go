@@ -144,6 +144,27 @@ type Config struct {
 	// before the workload is built — an extension point for attaching trace
 	// recorders or custom policies.
 	OnSystem func(sys *sched.System)
+
+	// Check, when non-nil, attaches a runtime invariant auditor to the run
+	// (see internal/check): it continuously verifies conservation laws —
+	// legal cluster frequencies, the little-core hotplug constraint, time and
+	// energy accounting — and its Finish hook reconciles the end-of-run
+	// totals. Nil (the default) disables auditing at near-zero cost. The
+	// auditor is a pure observer: an audited run produces identical results.
+	Check Checker
+}
+
+// Checker is the runtime invariant auditor hook. *check.Auditor implements
+// it; the interface is declared structurally here so internal/check can
+// depend on this package's Result without an import cycle.
+type Checker interface {
+	// Attach installs the checker on the assembled system. Run calls it
+	// immediately after the metrics sampler starts (and before the thermal
+	// model or any workload is built), so the checker's sampling events fire
+	// right after the sampler's at every shared timestamp.
+	Attach(sys *sched.System, pw power.Params)
+	// Finish runs end-of-run reconciliation against the metered energy.
+	Finish(elapsed event.Time, meterMJ float64)
 }
 
 // DefaultConfig returns the paper's baseline system configuration for app.
@@ -317,6 +338,12 @@ func Run(cfg Config) Result {
 	sampler.Prof = cfg.Profiler
 	sampler.Start()
 
+	// The auditor attaches directly after the sampler so its sampling events
+	// always fire right after the sampler's and both read identical state.
+	if cfg.Check != nil {
+		cfg.Check.Attach(sys, pw)
+	}
+
 	var therm *thermal.Model
 	if cfg.Thermal != nil {
 		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
@@ -411,6 +438,11 @@ func Run(cfg Config) Result {
 	if cfg.Profiler != nil {
 		snap := cfg.Profiler.Snapshot(cfg.Duration)
 		res.Profile = &snap
+	}
+	// Finish after the result is assembled so reconciliation can never
+	// perturb what the caller observes.
+	if cfg.Check != nil {
+		cfg.Check.Finish(cfg.Duration, res.EnergyMJ)
 	}
 	return res
 }

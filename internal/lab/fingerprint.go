@@ -46,12 +46,16 @@ type print struct {
 //   - OnSystem may mutate the assembled system arbitrarily;
 //   - Telemetry and Profiler side effects (events, attribution) would be
 //     silently skipped if the result came from disk;
+//   - a caller-supplied Check auditor must observe a live run to report
+//     anything;
 //   - a Platform constructor returning an unnamed SoC has no stable identity.
 //
 // Such jobs still run through the worker pool; they just always simulate.
+// (The runner's own Check mode attaches its auditor after fingerprinting, so
+// it does not affect cacheability.)
 func Fingerprint(job Job) (string, bool) {
 	cfg := job.Config.Normalized()
-	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil {
+	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil || cfg.Check != nil {
 		return "", false
 	}
 	p := print{

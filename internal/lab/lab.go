@@ -19,11 +19,14 @@
 package lab
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"biglittle/internal/check"
 	"biglittle/internal/core"
 	"biglittle/internal/telemetry"
 )
@@ -55,6 +58,12 @@ type Stats struct {
 	Stored    int64 // results written to cache
 	Retries   int64 // extra attempts after a panic or timeout
 	Failures  int64 // jobs that exhausted their attempts
+
+	// Audited counts jobs that passed invariant auditing (Runner.Check);
+	// AuditFailures counts jobs whose audit reported violations or whose
+	// cached result disagreed with a fresh audited simulation.
+	Audited       int64
+	AuditFailures int64
 }
 
 // Runner executes jobs on a worker pool with caching. The zero value is
@@ -78,6 +87,13 @@ type Runner struct {
 	// Retries is how many extra attempts a panicking or timed-out job gets
 	// (<0: none; 0: the default of 1).
 	Retries int
+	// Check enables invariant auditing (internal/check) for every job: fresh
+	// simulations run with an auditor attached and fail on any violation, and
+	// cache hits are verified by re-simulating with an auditor and requiring
+	// the cached result to match the fresh one byte for byte. Auditing is a
+	// pure observation — results are identical with it on or off — but cache
+	// hits lose their speedup since each one re-simulates.
+	Check bool
 
 	mu    sync.Mutex
 	stats Stats
@@ -234,6 +250,13 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 	cacheable = cacheable && r.Cache != nil
 	if cacheable {
 		if res, ok := r.Cache.Get(fp); ok {
+			if r.Check {
+				if aerr := r.auditCached(cfg, res); aerr != nil {
+					r.count(func(s *Stats) { s.AuditFailures++ }, "lab_audit_failures")
+					return core.Result{}, aerr
+				}
+				r.count(func(s *Stats) { s.Audited++ }, "lab_audited")
+			}
 			r.count(func(s *Stats) { s.Hits++ }, "lab_cache_hits")
 			return res, nil
 		}
@@ -245,10 +268,25 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 		if attempt > 0 {
 			r.count(func(s *Stats) { s.Retries++ }, "lab_retries")
 		}
+		// A fresh auditor per attempt: one auditor instance observes one run.
+		acfg := cfg
+		var aud *check.Auditor
+		if r.Check && acfg.Check == nil {
+			aud = check.New()
+			acfg.Check = aud
+		}
 		var res core.Result
-		res, err = r.attempt(cfg)
+		res, err = r.attempt(acfg)
 		if err != nil {
 			continue
+		}
+		if aud != nil {
+			if aerr := aud.Err(); aerr != nil {
+				// Violations are deterministic, so retrying cannot help.
+				r.count(func(s *Stats) { s.AuditFailures++ }, "lab_audit_failures")
+				return core.Result{}, fmt.Errorf("lab: job %q failed audit: %w", cfg.App.Name, aerr)
+			}
+			r.count(func(s *Stats) { s.Audited++ }, "lab_audited")
 		}
 		r.count(func(s *Stats) { s.Simulated++ }, "lab_simulations")
 		if cacheable {
@@ -260,6 +298,30 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 	}
 	r.count(func(s *Stats) { s.Failures++ }, "lab_failures")
 	return core.Result{}, err
+}
+
+// auditCached re-simulates a cache hit with an auditor attached and requires
+// the cached result to equal the fresh one byte for byte (Go float64 JSON
+// round-trips exactly, so marshaling both is an exact comparison). This is
+// the defense against a silently wrong number being memoized and re-served
+// forever: any divergence between the cache blob and today's simulator —
+// violation, drift, or corruption — surfaces as an error.
+func (r *Runner) auditCached(cfg core.Config, cached core.Result) error {
+	aud := check.New()
+	cfg.Check = aud
+	fresh, err := r.attempt(cfg)
+	if err != nil {
+		return err
+	}
+	if aerr := aud.Err(); aerr != nil {
+		return fmt.Errorf("lab: job %q failed audit: %w", cfg.App.Name, aerr)
+	}
+	a, aerr := json.Marshal(cached)
+	b, berr := json.Marshal(fresh)
+	if aerr != nil || berr != nil || !bytes.Equal(a, b) {
+		return fmt.Errorf("lab: job %q cached result disagrees with fresh audited simulation", cfg.App.Name)
+	}
+	return nil
 }
 
 type outcome struct {

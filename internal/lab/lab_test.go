@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"biglittle/internal/apps"
+	"biglittle/internal/check"
 	"biglittle/internal/core"
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
@@ -338,5 +339,102 @@ func TestRaceJobOwnedObservers(t *testing.T) {
 	}
 	if got := r.Tel.Counter("lab_simulations").Value(); got != n {
 		t.Fatalf("lab_simulations counter = %d, want %d", got, n)
+	}
+}
+
+func TestAuditMode(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+
+	cold := New(1, cache)
+	cold.Check = true
+	coldRes, err := cold.RunConfigs([]core.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Simulated != 1 || s.Audited != 1 || s.AuditFailures != 0 || s.Stored != 1 {
+		t.Fatalf("cold audit stats = %+v, want 1 simulated, 1 audited, 0 failures, 1 stored", s)
+	}
+
+	// A warm audited run re-simulates the hit, verifies it byte for byte
+	// against the cache blob, and still serves the cached result.
+	warm := New(1, cache)
+	warm.Check = true
+	warmRes, err := warm.RunConfigs([]core.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Hits != 1 || s.Audited != 1 || s.AuditFailures != 0 {
+		t.Fatalf("warm audit stats = %+v, want 1 hit, 1 audited, 0 failures", s)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Fatal("audited warm results differ from cold results")
+	}
+
+	// Audited results are identical to unaudited ones (the auditor is a
+	// pure observer), so the cache blob is shared with non-Check runners.
+	plain := New(1, cache)
+	plainRes, err := plain.RunConfigs([]core.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plain.Stats(); s.Hits != 1 {
+		t.Fatalf("plain stats = %+v, want 1 hit on the audited blob", s)
+	}
+	if !reflect.DeepEqual(coldRes, plainRes) {
+		t.Fatal("unaudited results differ from audited results")
+	}
+}
+
+func TestAuditCatchesTamperedCache(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+	fp, ok := Fingerprint(Job{Config: cfg})
+	if !ok {
+		t.Fatal("test config should be cacheable")
+	}
+
+	// Memoize a silently wrong result under the correct fingerprint — the
+	// failure mode the audit exists for.
+	bad := core.Run(cfg)
+	bad.EnergyMJ *= 2
+	if err := cache.Put(fp, cfg.App.Name, "", bad); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(1, cache)
+	r.Check = true
+	if _, err := r.Run(Job{Config: cfg}); err == nil {
+		t.Fatal("audit accepted a tampered cache blob")
+	} else if !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("unexpected audit error: %v", err)
+	}
+	if s := r.Stats(); s.AuditFailures != 1 {
+		t.Fatalf("stats = %+v, want 1 audit failure", s)
+	}
+
+	// Without auditing the tampered blob is served verbatim — demonstrating
+	// the hole the -check flag closes.
+	plain := New(1, cache)
+	res, err := plain.Run(Job{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyMJ != bad.EnergyMJ {
+		t.Fatal("expected the unaudited runner to serve the tampered blob")
+	}
+}
+
+func TestFingerprintUncacheableWithCheck(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Check = check.New()
+	if _, ok := Fingerprint(Job{Config: cfg}); ok {
+		t.Fatal("config with a caller-supplied auditor must not be cacheable")
 	}
 }

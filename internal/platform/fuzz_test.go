@@ -1,0 +1,39 @@
+package platform
+
+import "testing"
+
+// FuzzParseCoreConfig: any accepted hotplug notation must round-trip through
+// String and apply cleanly to the (tiny-extended, so every cluster exists)
+// SoC; rejected inputs must error rather than panic.
+func FuzzParseCoreConfig(f *testing.F) {
+	f.Add("L4+B4")
+	f.Add("L2")
+	f.Add("L2+B1")
+	f.Add("T2+L4+B4")
+	f.Add("l1+b0")
+	f.Add(" L3 + B2 ")
+	f.Add("L5+B9")
+	f.Add("B4")
+	f.Add("L-1")
+	f.Add("X4")
+	f.Add("")
+	f.Add("+")
+	f.Add("L")
+	f.Add("L4++B4")
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseCoreConfig(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseCoreConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", s, cfg, err)
+		}
+		if again != cfg {
+			t.Fatalf("round-trip changed %q: %v -> %v", s, cfg, again)
+		}
+		if err := cfg.Apply(Exynos5422Tiny()); err != nil {
+			t.Fatalf("accepted %q but Apply failed: %v", s, err)
+		}
+	})
+}

@@ -453,11 +453,24 @@ func (s *System) Push(t *Task, cycles float64) {
 		// it can be enqueued (cpuidle wake-up cost).
 		t.state = Waking
 		s.Eng.At(now+s.Cfg.DeepIdleWake, func(at event.Time) {
-			s.sync(c, at)
+			dst := c
+			if !s.SoC.Cores[dst.id].Online {
+				// The chosen core was hotplugged offline while the task paid
+				// the exit latency (offlining only evicts queued tasks, not
+				// Waking ones). Re-place it; as with eviction, hotplug breaks
+				// affinity to the now-offline core.
+				if t.pinned >= 0 && !s.SoC.Cores[t.pinned].Online {
+					t.pinned = -1
+				}
+				dst = s.wakeCPU(t)
+				t.cpu = dst.id
+				t.lastCPU = dst.id
+			}
+			s.sync(dst, at)
 			t.state = Runnable
-			c.queue = append(c.queue, t)
-			if len(c.queue) == 1 {
-				s.dispatch(c, at)
+			dst.queue = append(dst.queue, t)
+			if len(dst.queue) == 1 {
+				s.dispatch(dst, at)
 			}
 		})
 		return

@@ -495,3 +495,81 @@ func TestBoostOnlyRaises(t *testing.T) {
 		t.Fatalf("load %d after weaker boost", task.Load())
 	}
 }
+
+// Property: hotplug never takes the last little core offline (§II), however
+// a governor churns cores — 10k random decisions under load, with and
+// without deep idle. The deep-idle variant also regresses the wake window:
+// a task paying its deep-idle exit latency must not land on a core that was
+// hotplugged offline in the meantime.
+func TestPropertyHotplugNeverKillsLastLittle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", DefaultConfig()},
+		{"deep-idle", func() Config {
+			c := DefaultConfig()
+			c.DeepIdleAfter = 500 * event.Microsecond
+			c.DeepIdleWake = 100 * event.Microsecond
+			return c
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := event.New()
+			soc := platform.Exynos5422()
+			s := New(eng, soc, tc.cfg)
+			s.Start()
+			rng := rand.New(rand.NewSource(42))
+
+			const n = 6
+			tasks := make([]*Task, n)
+			for i := range tasks {
+				tasks[i] = s.NewTask("t", 1.5)
+			}
+
+			decisions := 0
+			s.TickHook = func(now event.Time) {
+				// Intermittent work keeps tasks cycling through sleep, deep
+				// idle, and the waking window while cores churn beneath them.
+				if rng.Intn(3) == 0 {
+					s.Push(tasks[rng.Intn(n)], float64(1+rng.Intn(5))*1e5)
+				}
+				for k := 0; k < 10; k++ {
+					id := rng.Intn(len(soc.Cores))
+					online := rng.Intn(2) == 0
+					err := s.SetCoreOnline(id, online)
+					decisions++
+					if soc.OnlineCount(platform.Little) < 1 {
+						t.Fatalf("decision %d at %v: SetCoreOnline(%d, %v) err=%v left no little core online",
+							decisions, now, id, online, err)
+					}
+				}
+				for i, tk := range tasks {
+					st := tk.CurState()
+					if st != Runnable && st != Running {
+						continue
+					}
+					if cpu := tk.CPU(); cpu < 0 || !soc.Cores[cpu].Online {
+						t.Fatalf("at %v: task %d is %v on offline core %d", now, i, st, tk.CPU())
+					}
+				}
+			}
+			eng.Run(event.Second) // 1000 ticks x 10 decisions
+			if decisions < 10000 {
+				t.Fatalf("only %d hotplug decisions exercised, want >= 10000", decisions)
+			}
+			// Refusals must come back as errors, not silent constraint breaks.
+			for id := 0; id < 4; id++ {
+				s.SetCoreOnline(id, true)
+			}
+			for id := 1; id < 4; id++ {
+				if err := s.SetCoreOnline(id, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.SetCoreOnline(0, false); err == nil {
+				t.Fatal("offlining the last little core did not error")
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"biglittle/internal/profile"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/thermal"
 	"biglittle/internal/workload"
 )
 
@@ -51,6 +52,20 @@ type Config struct {
 	// migrations). Threads live per phase, so the attribution table carries
 	// every phase's threads side by side.
 	Profiler *profile.Profiler
+	// Thermal, when non-nil, attaches the exponential thermal model and
+	// its throttling governor cap; MaxTempC/ThrottledPct land on Result.
+	Thermal *thermal.Params
+	// Check, when non-nil, attaches an invariant auditor (see internal/check)
+	// that observes the whole session and reconciles its totals at the end.
+	Check Checker
+}
+
+// Checker is the session-side view of an invariant auditor; *check.Auditor
+// satisfies it. Declared here (identically to core.Checker) so session does
+// not import internal/check, which imports internal/core.
+type Checker interface {
+	Attach(sys *sched.System, pw power.Params)
+	Finish(elapsed event.Time, meterMJ float64)
 }
 
 // DefaultConfig returns a session on the paper's baseline platform with the
@@ -87,6 +102,10 @@ type Result struct {
 	TotalEnergyJ  float64
 	TotalDrainPct float64
 	AvgPowerMW    float64
+	// Thermal metrics across the whole session (zero unless Config.Thermal
+	// was set).
+	MaxTempC     float64
+	ThrottledPct float64
 }
 
 // Run executes the session. Phases run back to back on one platform: the
@@ -117,6 +136,7 @@ type Live struct {
 	Sampler *metrics.Sampler
 
 	res        Result
+	therm      *thermal.Model
 	rng        *rand.Rand
 	phaseIdx   int        // index of the phase currently running (or next to build)
 	phaseStart event.Time // start time of phase phaseIdx
@@ -162,7 +182,21 @@ func NewLive(cfg Config) *Live {
 	sampler.Prof = cfg.Profiler
 	sampler.Start()
 
-	l := &Live{Cfg: cfg, Eng: eng, Sys: sys, Sampler: sampler}
+	// As in core.Run, the auditor attaches directly after the sampler so its
+	// sampling events always fire right after the sampler's and both read
+	// identical state.
+	if cfg.Check != nil {
+		cfg.Check.Attach(sys, cfg.Power)
+	}
+
+	var therm *thermal.Model
+	if cfg.Thermal != nil {
+		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
+		therm.Tel = cfg.Telemetry
+		therm.Start()
+	}
+
+	l := &Live{Cfg: cfg, Eng: eng, Sys: sys, Sampler: sampler, therm: therm}
 	l.rngInit()
 	if len(cfg.Phases) == 0 {
 		l.done = true
@@ -309,6 +343,15 @@ func (l *Live) Advance(to event.Time) bool {
 	l.res.TotalDrainPct = l.Cfg.Pack.DrainPct(l.res.TotalEnergyJ * 1000)
 	if l.res.Duration > 0 {
 		l.res.AvgPowerMW = l.res.TotalEnergyJ * 1000 / l.res.Duration.Seconds()
+	}
+	if l.therm != nil {
+		l.res.MaxTempC = l.therm.MaxTempC
+		l.res.ThrottledPct = l.therm.ThrottledPct(l.res.Duration)
+	}
+	// Finish after the result is final so reconciliation can never perturb
+	// what the caller observes.
+	if l.Cfg.Check != nil {
+		l.Cfg.Check.Finish(l.res.Duration, l.Sampler.EnergyMJ())
 	}
 	return true
 }

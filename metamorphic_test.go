@@ -1,0 +1,111 @@
+package biglittle_test
+
+import (
+	"reflect"
+	"testing"
+
+	"biglittle"
+)
+
+// Metamorphic properties: relations between runs that must hold whatever the
+// absolute numbers are. They catch model regressions that point assertions
+// on single runs cannot — a governor that silently stops scaling, a uarch
+// model whose big cores got slower than little ones, a microbenchmark whose
+// duty knob disconnects.
+
+// Same seed, same config — bit-identical results. This is the foundation the
+// lab cache, the golden corpus, and every "compare two runs" test stand on.
+func TestMetamorphicSeedDeterminism(t *testing.T) {
+	app, err := biglittle.AppByName("video_player")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 2 * biglittle.Second
+	a := biglittle.Run(cfg)
+	b := biglittle.Run(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical configs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+	cfg.Seed = 2
+	c := biglittle.Run(cfg)
+	if c.EnergyMJ == a.EnergyMJ && c.HMPMigrations == a.HMPMigrations {
+		t.Fatal("different seeds produced an identical run; the seed is not reaching the workload")
+	}
+}
+
+// Raising a pinned cluster frequency never decreases the work a saturated
+// workload completes (§IV-D: performance is monotone in frequency).
+func TestMetamorphicFrequencyMonotonic(t *testing.T) {
+	stress := biglittle.Stress(4)
+	run := func(cores biglittle.CoreConfig, pinned map[int]int) float64 {
+		cfg := biglittle.DefaultConfig(stress)
+		cfg.Duration = 2 * biglittle.Second
+		cfg.Cores = cores
+		cfg.Governor = biglittle.Userspace
+		cfg.PinnedMHz = pinned
+		return biglittle.Run(cfg).TotalWorkGc
+	}
+
+	prev := 0.0
+	for _, mhz := range []int{800, 1100, 1500, 1900} {
+		work := run(biglittle.BaselineCores(), map[int]int{0: 1300, 1: mhz})
+		if work < prev {
+			t.Fatalf("raising the big cluster to %d MHz decreased completed work: %.3f -> %.3f Gc", mhz, prev, work)
+		}
+		prev = work
+	}
+
+	prev = 0.0
+	for _, mhz := range []int{500, 700, 900, 1100, 1300} {
+		work := run(biglittle.CoreConfig{Little: 4}, map[int]int{0: mhz, 1: 800})
+		if work < prev {
+			t.Fatalf("raising the little cluster to %d MHz decreased completed work: %.3f -> %.3f Gc", mhz, prev, work)
+		}
+		prev = work
+	}
+}
+
+// On every SPEC-like profile a big core beats a little core at the same
+// frequency, and by no more than the microarchitectural ceiling — a 3-wide
+// out-of-order core cannot be more than 8x a 2-wide in-order one.
+func TestMetamorphicBigLittleSpeedupBounds(t *testing.T) {
+	big, little := biglittle.CortexA15(), biglittle.CortexA7()
+	for _, p := range biglittle.SPECProfiles() {
+		a7 := biglittle.RunTrace(little, p, 1000, 0)
+		a15 := biglittle.RunTrace(big, p, 1000, 0)
+		s := biglittle.TraceSpeedup(a15, a7)
+		if s < 1 {
+			t.Errorf("%s: big core slower than little at the same frequency (speedup %.3f)", p.Name, s)
+		}
+		if s > 8 {
+			t.Errorf("%s: speedup %.3f exceeds the uarch model's plausible ceiling of 8", p.Name, s)
+		}
+	}
+}
+
+// The §III-B utilization microbenchmark: doubling the duty cycle doubles the
+// measured little-cluster utilization (within sampling noise), and the
+// measured utilization tracks the requested duty.
+func TestMetamorphicDutyCycleScaling(t *testing.T) {
+	measure := func(duty int) float64 {
+		cfg := biglittle.DefaultConfig(biglittle.Micro(duty, 1300, 0))
+		cfg.Duration = 2 * biglittle.Second
+		cfg.Cores = biglittle.CoreConfig{Little: 1}
+		cfg.Governor = biglittle.Userspace
+		cfg.PinnedMHz = map[int]int{0: 1300, 1: 800}
+		return biglittle.Run(cfg).AvgLittleUtil
+	}
+	prev := 0.0
+	for _, duty := range []int{10, 20, 40, 80} {
+		util := measure(duty)
+		if util <= prev {
+			t.Fatalf("duty %d%%: utilization %.4f did not increase from %.4f", duty, util, prev)
+		}
+		want := float64(duty) / 100
+		if ratio := util / want; ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("duty %d%%: measured utilization %.4f is %.2fx the requested duty", duty, util, ratio)
+		}
+		prev = util
+	}
+}

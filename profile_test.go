@@ -164,17 +164,24 @@ func TestProfileSessionConservation(t *testing.T) {
 }
 
 // TestLiveSessionMatchesRun: advancing a session incrementally produces the
-// identical Result as the one-shot Run path (same seed, same event order).
+// identical Result as the one-shot Run path (same seed, same event order) —
+// including the thermal fields and the audited invariants.
 func TestLiveSessionMatchesRun(t *testing.T) {
 	app, err := biglittle.AppByName("browser")
 	if err != nil {
 		t.Fatal(err)
 	}
+	th := biglittle.DefaultThermal()
 	cfg := biglittle.NewSession(
 		biglittle.SessionPhase{App: app, Duration: 2 * biglittle.Second},
 	)
+	cfg.Thermal = &th
+	cfg.Check = biglittle.NewAuditor()
 	want := biglittle.RunSession(cfg)
 
+	// Each auditor observes one run; give the live path its own.
+	aud := biglittle.NewAuditor()
+	cfg.Check = aud
 	live := biglittle.NewLiveSession(cfg)
 	for to := 100 * biglittle.Millisecond; !live.Advance(to); to += 100 * biglittle.Millisecond {
 	}
@@ -184,10 +191,57 @@ func TestLiveSessionMatchesRun(t *testing.T) {
 		len(got.Phases) != len(want.Phases) {
 		t.Fatalf("live result diverged from Run:\n got %+v\nwant %+v", got, want)
 	}
+	if got.MaxTempC != want.MaxTempC || got.ThrottledPct != want.ThrottledPct {
+		t.Fatalf("live thermal fields diverged: got %.4f C / %.2f%%, want %.4f C / %.2f%%",
+			got.MaxTempC, want.MaxTempC, got.ThrottledPct, want.ThrottledPct)
+	}
+	if got.TotalDrainPct != want.TotalDrainPct {
+		t.Fatalf("live battery drain diverged: got %v, want %v", got.TotalDrainPct, want.TotalDrainPct)
+	}
 	for i := range got.Phases {
 		if got.Phases[i] != want.Phases[i] {
 			t.Fatalf("phase %d diverged:\n got %+v\nwant %+v", i, got.Phases[i], want.Phases[i])
 		}
+	}
+	if rep := aud.Report(); !rep.Ok() || rep.Samples == 0 {
+		t.Fatalf("live session audit failed:\n%s", rep)
+	}
+}
+
+// TestSessionMatchesCoreRun: a single-phase session is the same simulation as
+// a bare core run — energy, power, thermal, and battery accounting all agree.
+func TestSessionMatchesCoreRun(t *testing.T) {
+	app := biglittle.Stress(8) // sustained big-cluster load so thermal state moves
+	th := biglittle.DefaultThermal()
+	dur := 10 * biglittle.Second
+
+	run := biglittle.DefaultConfig(app)
+	run.Duration = dur
+	run.Thermal = &th
+	want := biglittle.Run(run)
+
+	ses := biglittle.NewSession(biglittle.SessionPhase{App: app, Duration: dur})
+	ses.Thermal = &th
+	got := biglittle.RunSession(ses)
+
+	if math.Abs(got.TotalEnergyJ*1000-want.EnergyMJ) > 1e-6 {
+		t.Errorf("session energy %.6f J, core run %.6f J", got.TotalEnergyJ, want.EnergyMJ/1000)
+	}
+	if rel := math.Abs(got.AvgPowerMW-want.AvgPowerMW) / want.AvgPowerMW; rel > 1e-9 {
+		t.Errorf("session avg power %.6f mW, core run %.6f mW", got.AvgPowerMW, want.AvgPowerMW)
+	}
+	if got.MaxTempC != want.MaxTempC {
+		t.Errorf("session max temp %.6f C, core run %.6f C", got.MaxTempC, want.MaxTempC)
+	}
+	if got.ThrottledPct != want.ThrottledPct {
+		t.Errorf("session throttled %.4f%%, core run %.4f%%", got.ThrottledPct, want.ThrottledPct)
+	}
+	if want.MaxTempC <= 0 {
+		t.Error("thermal model never engaged; the parity check is vacuous")
+	}
+	wantDrain := biglittle.GalaxyS5Pack().DrainPct(want.EnergyMJ)
+	if math.Abs(got.TotalDrainPct-wantDrain) > 1e-9 {
+		t.Errorf("session drain %.6f%%, battery model on core energy %.6f%%", got.TotalDrainPct, wantDrain)
 	}
 }
 
