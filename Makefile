@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare profile-single serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -19,6 +19,30 @@ bench:
 # One iteration of every benchmark — catches bit-rot without timing anything.
 bench-smoke:
 	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+# The perf-regression gate (see DESIGN.md "Performance"). bench-baseline
+# measures the tracked benchmarks -count=6 and records the medians-ready raw
+# output into BENCH_baseline.json; bench-compare re-measures and fails if a
+# gated benchmark's median regressed >10% (time only on the same CPU model;
+# allocs/op everywhere — it is machine-independent).
+GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower
+
+bench-baseline:
+	go test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -count 6 . | tee /tmp/blbench-baseline.txt
+	go run ./cmd/blbench record -out BENCH_baseline.json /tmp/blbench-baseline.txt
+
+bench-compare:
+	go test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -count 6 . | tee /tmp/blbench-new.txt
+	go run ./cmd/blbench compare -baseline BENCH_baseline.json \
+		-critical '^($(GATED_BENCH))$$' -max-regress 10 /tmp/blbench-new.txt
+
+# Capture CPU and allocation profiles of the single-run hot path; DESIGN.md
+# "Performance" explains how to read them.
+profile-single:
+	go test -run '^$$' -bench BenchmarkSingleRun -benchtime 200x \
+		-cpuprofile /tmp/biglittle-cpu.prof -memprofile /tmp/biglittle-mem.prof .
+	@echo "profile-single: go tool pprof -top /tmp/biglittle-cpu.prof"
+	@echo "profile-single: go tool pprof -top -sample_index=alloc_objects /tmp/biglittle-mem.prof"
 
 # Boot blserve on a short free-running session and assert the observability
 # endpoints actually serve: Prometheus text with per-task gauges, and a JSON

@@ -1,0 +1,52 @@
+// Command blbench records and compares Go benchmark results without
+// external tooling. It parses standard `go test -bench` output (the same
+// format benchstat consumes), stores a baseline as JSON with the raw
+// benchmark lines embedded (so the file remains benchstat-compatible), and
+// gates regressions by comparing per-benchmark medians.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 6 . | blbench record -out BENCH_baseline.json
+//	go test -bench . -benchmem -count 6 . | blbench compare -baseline BENCH_baseline.json
+//
+// Both subcommands also accept input files as positional arguments.
+//
+// compare exits non-zero when a critical benchmark (-critical, a regexp)
+// regresses by more than -max-regress percent on its median. Allocation
+// counts are gated unconditionally — they are machine-independent. Wall
+// times are only gated when the baseline and candidate were measured on the
+// same CPU model (per the `cpu:` header line), because absolute ns/op on
+// different hardware is not comparable; set -force-time to override.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"biglittle/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = bench.RecordMain(os.Args[2:])
+	case "compare":
+		err = bench.CompareMain(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: blbench record [-out file] [input...]
+       blbench compare [-baseline file] [-max-regress pct] [-critical regexp] [-force-time] [input...]`)
+	os.Exit(2)
+}

@@ -1,0 +1,336 @@
+// Package bench parses standard `go test -bench` output, records baselines,
+// and compares runs by per-benchmark medians. It exists because the repo
+// vendors no external tools: the JSON baseline embeds the raw benchmark
+// lines, so the file stays consumable by benchstat where that is available,
+// while cmd/blbench provides the regression gate everywhere else.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: a name, the iteration count, and
+// every "value unit" metric pair on the line (ns/op, B/op, allocs/op, and
+// any custom ReportMetric units).
+type Result struct {
+	Name    string
+	N       int
+	Metrics map[string]float64
+}
+
+// Set is a parsed benchmark run: the environment header plus all results.
+type Set struct {
+	GOOS, GOARCH, CPU string
+	Raw               []string // benchmark lines verbatim, in input order
+	Results           []Result
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output. Unrecognized lines are skipped, so
+// test chatter interleaved with benchmark output is harmless.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			s.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				s.Results = append(s.Results, res)
+				s.Raw = append(s.Raw, line)
+			}
+		}
+	}
+	return s, sc.Err()
+}
+
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	n, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Result{}, false
+	}
+	// The GOMAXPROCS suffix is stripped so runs at different -cpu settings
+	// still line up by benchmark identity.
+	r := Result{Name: gomaxprocsSuffix.ReplaceAllString(f[0], ""), N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// Medians aggregates a set into name → unit → median across repeated runs
+// (-count). The median, not the mean, so one descheduled run on a noisy
+// machine cannot move the gate.
+func (s *Set) Medians() map[string]map[string]float64 {
+	samples := map[string]map[string][]float64{}
+	for _, r := range s.Results {
+		if samples[r.Name] == nil {
+			samples[r.Name] = map[string][]float64{}
+		}
+		for unit, v := range r.Metrics {
+			samples[r.Name][unit] = append(samples[r.Name][unit], v)
+		}
+	}
+	out := map[string]map[string]float64{}
+	for name, units := range samples {
+		out[name] = map[string]float64{}
+		for unit, vs := range units {
+			out[name][unit] = median(vs)
+		}
+	}
+	return out
+}
+
+// Runs returns how many times each benchmark appears in the set.
+func (s *Set) Runs() map[string]int {
+	n := map[string]int{}
+	for _, r := range s.Results {
+		n[r.Name]++
+	}
+	return n
+}
+
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	m := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[m]
+	}
+	return (sorted[m-1] + sorted[m]) / 2
+}
+
+// Baseline is the on-disk format. Lines hold the raw benchmark output, so
+// the stored data is exactly what was measured and remains benchstat-ready.
+type Baseline struct {
+	GOOS   string   `json:"goos"`
+	GOARCH string   `json:"goarch"`
+	CPU    string   `json:"cpu"`
+	Note   string   `json:"note,omitempty"`
+	Lines  []string `json:"lines"`
+}
+
+// Load reads a baseline file and re-parses its embedded lines.
+func Load(path string) (*Baseline, *Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	set, err := Parse(strings.NewReader(strings.Join(b.Lines, "\n")))
+	if err != nil {
+		return nil, nil, err
+	}
+	set.GOOS, set.GOARCH, set.CPU = b.GOOS, b.GOARCH, b.CPU
+	return &b, set, nil
+}
+
+// Delta is one (benchmark, unit) comparison row.
+type Delta struct {
+	Name, Unit string
+	Old, New   float64
+	Pct        float64 // (new-old)/old in percent; +∞ avoided: old==0 → 0
+	Gated      bool    // this row participates in the pass/fail decision
+	Fail       bool
+}
+
+// gatedUnits are the metrics where "bigger is worse" and a regression gate
+// makes sense. B/op is reported but not gated (allocs/op subsumes it for
+// the zero-alloc budgets this repo cares about); custom units are reported
+// only.
+func gatedUnit(unit string, gateTime bool) bool {
+	switch unit {
+	case "allocs/op":
+		return true
+	case "ns/op":
+		return gateTime
+	}
+	return false
+}
+
+// Compare evaluates a candidate set against a baseline. Benchmarks matching
+// critical are gated: a gated unit regressing by more than maxRegressPct on
+// its median fails. gateTime should be false when the two sets were measured
+// on different hardware.
+func Compare(base, cand *Set, critical *regexp.Regexp, maxRegressPct float64, gateTime bool) ([]Delta, bool) {
+	bm, cm := base.Medians(), cand.Medians()
+	names := make([]string, 0, len(bm))
+	for name := range bm {
+		if _, ok := cm[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var rows []Delta
+	failed := false
+	for _, name := range names {
+		units := make([]string, 0, len(bm[name]))
+		for unit := range bm[name] {
+			if _, ok := cm[name][unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			d := Delta{Name: name, Unit: unit, Old: bm[name][unit], New: cm[name][unit]}
+			if d.Old != 0 {
+				d.Pct = 100 * (d.New - d.Old) / d.Old
+			}
+			d.Gated = critical.MatchString(name) && gatedUnit(unit, gateTime)
+			d.Fail = d.Gated && d.Pct > maxRegressPct
+			failed = failed || d.Fail
+			rows = append(rows, d)
+		}
+	}
+	return rows, failed
+}
+
+// Render formats comparison rows as an aligned table.
+func Render(w io.Writer, rows []Delta) {
+	fmt.Fprintf(w, "%-28s %-14s %14s %14s %9s\n", "benchmark", "metric", "old median", "new median", "delta")
+	for _, d := range rows {
+		mark := ""
+		switch {
+		case d.Fail:
+			mark = "  FAIL"
+		case d.Gated:
+			mark = "  ok"
+		}
+		fmt.Fprintf(w, "%-28s %-14s %14s %14s %+8.1f%%%s\n",
+			d.Name, d.Unit, formatValue(d.Old, d.Unit), formatValue(d.New, d.Unit), d.Pct, mark)
+	}
+}
+
+func formatValue(v float64, unit string) string {
+	if unit == "ns/op" {
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.3gs", v/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.4gms", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.4gµs", v/1e3)
+		}
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func parseInputs(paths []string) (*Set, error) {
+	if len(paths) == 0 {
+		return Parse(os.Stdin)
+	}
+	var all strings.Builder
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		all.Write(data)
+		all.WriteByte('\n')
+	}
+	return Parse(strings.NewReader(all.String()))
+}
+
+// RecordMain implements `blbench record`.
+func RecordMain(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "BENCH_baseline.json", "baseline file to write")
+	note := fs.String("note", "", "free-form note stored with the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set, err := parseInputs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(set.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	b := Baseline{GOOS: set.GOOS, GOARCH: set.GOARCH, CPU: set.CPU, Note: *note, Lines: set.Raw}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for name, n := range set.Runs() {
+		fmt.Printf("recorded %s: %d runs\n", name, n)
+	}
+	fmt.Printf("wrote %s (cpu: %s)\n", *out, set.CPU)
+	return nil
+}
+
+// CompareMain implements `blbench compare`.
+func CompareMain(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
+	maxRegress := fs.Float64("max-regress", 10, "max allowed median regression, percent")
+	critical := fs.String("critical", "^BenchmarkSingleRun$", "regexp of gated benchmarks")
+	forceTime := fs.Bool("force-time", false, "gate ns/op even across different CPU models")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	re, err := regexp.Compile(*critical)
+	if err != nil {
+		return fmt.Errorf("bad -critical: %w", err)
+	}
+	_, base, err := Load(*basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := parseInputs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(cand.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	gateTime := *forceTime || (base.CPU != "" && base.CPU == cand.CPU)
+	if !gateTime {
+		fmt.Printf("note: baseline cpu %q != candidate cpu %q; ns/op reported but not gated (allocs/op still is)\n\n",
+			base.CPU, cand.CPU)
+	}
+	rows, failed := Compare(base, cand, re, *maxRegress, gateTime)
+	if len(rows) == 0 {
+		return fmt.Errorf("no common benchmarks between baseline and input")
+	}
+	Render(os.Stdout, rows)
+	if failed {
+		return fmt.Errorf("regression over %.0f%% on a gated benchmark", *maxRegress)
+	}
+	return nil
+}

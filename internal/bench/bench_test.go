@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: biglittle
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSingleRun 	      20	   2000000 ns/op	   31432 B/op	     623 allocs/op
+BenchmarkSingleRun 	      20	   2200000 ns/op	   31432 B/op	     623 allocs/op
+BenchmarkSingleRun 	      20	   1800000 ns/op	   31000 B/op	     620 allocs/op
+BenchmarkFig2Speedup-4   	       5	    302713 ns/op	         4.968 max-speedup@1.3GHz	    2864 B/op	       5 allocs/op
+PASS
+ok  	biglittle	0.5s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GOOS != "linux" || s.GOARCH != "amd64" || !strings.Contains(s.CPU, "Xeon") {
+		t.Fatalf("header parsed wrong: %+v", s)
+	}
+	if len(s.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(s.Results))
+	}
+	// GOMAXPROCS suffix stripped.
+	if s.Results[3].Name != "BenchmarkFig2Speedup" {
+		t.Fatalf("name = %q", s.Results[3].Name)
+	}
+	if v := s.Results[3].Metrics["max-speedup@1.3GHz"]; v != 4.968 {
+		t.Fatalf("custom metric = %v", v)
+	}
+	if got := s.Medians()["BenchmarkSingleRun"]["ns/op"]; got != 2000000 {
+		t.Fatalf("median ns/op = %v, want 2000000", got)
+	}
+	if got := s.Runs()["BenchmarkSingleRun"]; got != 3 {
+		t.Fatalf("runs = %d, want 3", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+func compareStrings(t *testing.T, baseTxt, candTxt string, maxPct float64, gateTime bool) ([]Delta, bool) {
+	t.Helper()
+	base, err := Parse(strings.NewReader(baseTxt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := Parse(strings.NewReader(candTxt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compare(base, cand, regexp.MustCompile("^BenchmarkSingleRun$"), maxPct, gateTime)
+}
+
+func TestCompareGatesRegression(t *testing.T) {
+	slow := strings.ReplaceAll(sample, "2000000 ns/op", "3000000 ns/op")
+	slow = strings.ReplaceAll(slow, "2200000 ns/op", "3300000 ns/op")
+	slow = strings.ReplaceAll(slow, "1800000 ns/op", "2700000 ns/op")
+	_, failed := compareStrings(t, sample, slow, 10, true)
+	if !failed {
+		t.Fatal("50% time regression on gated benchmark did not fail")
+	}
+	// The same regression passes when time gating is off (different CPU)...
+	_, failed = compareStrings(t, sample, slow, 10, false)
+	if failed {
+		t.Fatal("time regression failed the gate with gateTime=false")
+	}
+	// ...but an allocation regression still fails regardless.
+	allocs := strings.ReplaceAll(sample, "623 allocs/op", "1400 allocs/op")
+	_, failed = compareStrings(t, sample, allocs, 10, false)
+	if !failed {
+		t.Fatal("alloc regression did not fail with gateTime=false")
+	}
+}
+
+func TestCompareWithinToleranceAndImprovement(t *testing.T) {
+	if _, failed := compareStrings(t, sample, sample, 10, true); failed {
+		t.Fatal("identical runs failed the gate")
+	}
+	fast := strings.ReplaceAll(sample, "2000000 ns/op", "1000000 ns/op")
+	if _, failed := compareStrings(t, sample, fast, 10, true); failed {
+		t.Fatal("an improvement failed the gate")
+	}
+}
+
+func TestCompareIgnoresNonCritical(t *testing.T) {
+	// Fig2 regresses badly but is not in the critical set.
+	slowFig := strings.ReplaceAll(sample, "302713 ns/op", "999999999 ns/op")
+	if _, failed := compareStrings(t, sample, slowFig, 10, true); failed {
+		t.Fatal("non-critical benchmark regression failed the gate")
+	}
+}
+
+func TestRecordLoadRoundTrip(t *testing.T) {
+	set, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := RecordMain([]string{"-out", out, path}); err != nil {
+		t.Fatal(err)
+	}
+	b, loaded, err := Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CPU != set.CPU || len(loaded.Results) != len(set.Results) {
+		t.Fatalf("round trip lost data: %+v vs %+v", loaded, set)
+	}
+	if loaded.Medians()["BenchmarkSingleRun"]["ns/op"] != set.Medians()["BenchmarkSingleRun"]["ns/op"] {
+		t.Fatal("medians diverged after round trip")
+	}
+}

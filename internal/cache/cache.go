@@ -5,6 +5,13 @@
 //
 // The simulator is trace-driven: it consumes byte addresses and reports
 // hit/miss per level. Latencies are attached by the uarch model, not here.
+//
+// Way metadata is stored as flat per-set arrays (tags and last-use stamps in
+// separate slices) rather than per-way structs: the hit-probe loop scans only
+// the tag array, and the common repeated-line case is served by a one-probe
+// MRU check before the full set scan. A last-use stamp of zero marks an
+// invalid way, so validity needs no separate flag — the global access clock
+// starts at one.
 package cache
 
 import "fmt"
@@ -54,17 +61,18 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	// lastUse implements true LRU via a global access counter.
-	lastUse uint64
-}
-
 // Cache is a single set-associative cache level with LRU replacement.
+//
+// Way w of set s lives at flat index s*Ways+w. tags holds the full block
+// address; use holds the last-access clock stamp, with zero meaning the way
+// is invalid. mru remembers the way touched most recently per set for the
+// one-probe fast path.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	tags      []uint64
+	use       []uint64
+	mru       []int32
+	ways      int
 	setMask   uint64
 	lineShift uint
 	clock     uint64
@@ -78,18 +86,16 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nsets := cfg.Sets()
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
-	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineB {
 		shift++
 	}
 	return &Cache{
 		cfg:       cfg,
-		sets:      sets,
+		tags:      make([]uint64, nsets*cfg.Ways),
+		use:       make([]uint64, nsets*cfg.Ways),
+		mru:       make([]int32, nsets),
+		ways:      cfg.Ways,
 		setMask:   uint64(nsets - 1),
 		lineShift: shift,
 	}
@@ -107,49 +113,62 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // Reset clears all contents and statistics.
 func (c *Cache) Reset() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			c.sets[si][wi] = line{}
-		}
-	}
+	clear(c.tags)
+	clear(c.use)
+	clear(c.mru)
 	c.clock = 0
 	c.stats = Stats{}
 }
 
 // Access looks up addr, allocating the line on a miss (write-allocate for
 // both loads and stores — the distinction does not matter for the CPI model).
-// It returns true on hit.
+// It returns true on hit. The fast path is a single probe of the set's MRU
+// way, which serves the repeated-line accesses that dominate instruction
+// fetch and hot-set data streams.
 func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	c.stats.Accesses++
 	blk := addr >> c.lineShift
-	set := c.sets[blk&c.setMask]
-	tag := blk >> 0 // full block address as tag; set bits are redundant but harmless
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.clock
+	set := blk & c.setMask
+	base := int(set) * c.ways
+	if m := base + int(c.mru[set]); c.tags[m] == blk && c.use[m] != 0 {
+		c.use[m] = c.clock
+		return true
+	}
+	return c.accessSlow(blk, set, base)
+}
+
+// accessSlow is the full set probe plus miss handling behind the MRU fast
+// path. Victim selection is bit-compatible with the historical per-way-struct
+// implementation: a zero stamp (invalid way) always loses to any valid stamp,
+// and among zeros the first one wins because later zeros are not strictly
+// smaller; among valid ways stamps are unique (the clock is monotone), so the
+// minimum is the true LRU way.
+func (c *Cache) accessSlow(blk, set uint64, base int) bool {
+	tags := c.tags[base : base+c.ways]
+	use := c.use[base : base+c.ways : base+c.ways]
+	for i, t := range tags {
+		if t == blk && use[i] != 0 {
+			use[i] = c.clock
+			c.mru[set] = int32(i)
 			return true
 		}
 	}
 	c.stats.Misses++
-	// Choose victim: first invalid way, else LRU.
 	victim := 0
 	oldest := ^uint64(0)
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			oldest = 0
-			break
-		}
-		if set[i].lastUse < oldest {
-			oldest = set[i].lastUse
+	for i, u := range use {
+		if u < oldest {
+			oldest = u
 			victim = i
 		}
 	}
-	if set[victim].valid {
+	if use[victim] != 0 {
 		c.stats.Evictions++
 	}
-	set[victim] = line{tag: tag, valid: true, lastUse: c.clock}
+	tags[victim] = blk
+	use[victim] = c.clock
+	c.mru[set] = int32(victim)
 	return false
 }
 
@@ -157,13 +176,55 @@ func (c *Cache) Access(addr uint64) bool {
 // LRU state or statistics. Intended for tests.
 func (c *Cache) Contains(addr uint64) bool {
 	blk := addr >> c.lineShift
-	set := c.sets[blk&c.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == blk {
+	base := int(blk&c.setMask) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == blk && c.use[base+i] != 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// Snapshot is a copy of a cache's full replacement state (contents, LRU
+// stamps, clock, statistics). It lets a warmed cache be cloned instead of
+// re-simulating the warmup access stream; restoring a snapshot reproduces
+// the subsequent hit/miss sequence bit-for-bit.
+type Snapshot struct {
+	cfg   Config
+	tags  []uint64
+	use   []uint64
+	mru   []int32
+	clock uint64
+	stats Stats
+}
+
+// Snapshot captures the cache's current state.
+func (c *Cache) Snapshot() Snapshot {
+	s := Snapshot{
+		cfg:   c.cfg,
+		tags:  make([]uint64, len(c.tags)),
+		use:   make([]uint64, len(c.use)),
+		mru:   make([]int32, len(c.mru)),
+		clock: c.clock,
+		stats: c.stats,
+	}
+	copy(s.tags, c.tags)
+	copy(s.use, c.use)
+	copy(s.mru, c.mru)
+	return s
+}
+
+// Restore overwrites the cache's state with a snapshot taken from a cache of
+// the identical configuration; it panics on a configuration mismatch.
+func (c *Cache) Restore(s Snapshot) {
+	if s.cfg != c.cfg {
+		panic(fmt.Sprintf("cache: restoring %q snapshot into %q", s.cfg.Name, c.cfg.Name))
+	}
+	copy(c.tags, s.tags)
+	copy(c.use, s.use)
+	copy(c.mru, s.mru)
+	c.clock = s.clock
+	c.stats = s.stats
 }
 
 // Level identifies where in the hierarchy an access was satisfied.
@@ -202,7 +263,8 @@ func NewHierarchy(l1d, l2 Config) *Hierarchy {
 
 // Access walks addr through the hierarchy and returns the level that
 // satisfied it. An L1 miss always probes L2; an L2 miss goes to memory and
-// fills both levels (inclusive fill).
+// fills both levels (inclusive fill). The L1-hit common case resolves in the
+// single MRU probe inside (*Cache).Access and allocates nothing.
 func (h *Hierarchy) Access(addr uint64) Level {
 	if h.L1D.Access(addr) {
 		return L1

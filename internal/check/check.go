@@ -119,6 +119,7 @@ type Auditor struct {
 	lastTick   event.Time
 	haveTick   bool
 	lastSample event.Time
+	sampleFn   event.Handler // cached method value: evaluating a.onSample allocates
 
 	lastBusy []event.Time // per-core BusyNs at the last audit sample
 	lastDeep []event.Time // per-core DeepIdleNs at the last audit sample
@@ -175,7 +176,8 @@ func (a *Auditor) Attach(sys *sched.System, pw power.Params) {
 		}
 	}
 
-	sys.Eng.After(metrics.SampleInterval, a.onSample)
+	a.sampleFn = a.onSample
+	sys.Eng.After(metrics.SampleInterval, a.sampleFn)
 }
 
 // onTick runs at the end of every scheduler tick, after SyncAll.
@@ -301,7 +303,7 @@ func (a *Auditor) onSample(now event.Time) {
 		mw += a.pw.CorePowerDeepMW(core.Type, cl.CurMHz, util, deepFrac)
 	}
 	a.integralMJ += mw * metrics.SampleInterval.Seconds()
-	a.sys.Eng.After(metrics.SampleInterval, a.onSample)
+	a.sys.Eng.After(metrics.SampleInterval, a.sampleFn)
 }
 
 // Finish runs the end-of-run conservation checks: the energy integral

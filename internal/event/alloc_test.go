@@ -1,0 +1,42 @@
+package event
+
+import "testing"
+
+func noopHandler(Time) {}
+
+// The engine's schedule-and-fire cycle is the innermost loop of every
+// simulation; it must not allocate in steady state. This is the allocation
+// budget the perf-regression gate relies on (see DESIGN.md "Performance").
+func TestZeroAllocSteadyStateFire(t *testing.T) {
+	e := New()
+	// Warm the node pool and heap capacity.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), noopHandler)
+	}
+	e.RunAll()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.After(10, noopHandler)
+		e.After(5, noopHandler)
+		e.Run(e.Now() + 20)
+	}); avg != 0 {
+		t.Fatalf("schedule+fire allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+// Cancel must also be allocation-free: the scheduler cancels a completion
+// event on nearly every dispatch.
+func TestZeroAllocCancel(t *testing.T) {
+	e := New()
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), noopHandler)
+	}
+	e.RunAll()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		h := e.After(10, noopHandler)
+		h.Cancel()
+	}); avg != 0 {
+		t.Fatalf("schedule+cancel allocates %.1f objects per cycle, want 0", avg)
+	}
+}

@@ -1,17 +1,22 @@
 // Package event provides the discrete-event simulation substrate used by the
-// biglittle platform simulator: a monotonic simulated clock, a binary-heap
-// event queue with stable FIFO ordering for simultaneous events, and
+// biglittle platform simulator: a monotonic simulated clock, a pooled 4-ary
+// heap event queue with stable FIFO ordering for simultaneous events, and
 // cancellable event handles.
 //
 // All simulated components (scheduler ticks, governor sampling, task
 // completions, workload wakeups, metric samplers) are driven by a single
 // Engine so that every interleaving is deterministic for a given seed.
+//
+// The engine is the innermost loop of every simulation, so it is built to do
+// zero heap allocations per scheduled-and-fired event in steady state: event
+// records live on an engine-owned free list and the priority queue is a flat
+// slice of pointer-free entries (a 4-ary heap — shallower than a binary heap
+// and with all four children of a node on one cache line). Cancelled events
+// are removed from the queue eagerly rather than occupying a slot until their
+// fire time would have arrived.
 package event
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp in nanoseconds since the start of the run.
 type Time int64
@@ -38,61 +43,69 @@ func (t Time) String() string {
 // firing time, which equals the engine's current time during the call.
 type Handler func(now Time)
 
-// Event is a scheduled occurrence. Events are ordered by time, then by
-// scheduling sequence (FIFO among equal-time events).
-type Event struct {
-	at        Time
-	seq       uint64
-	fn        Handler
-	index     int // heap index; -1 once removed
-	cancelled bool
+// node is a pooled event record. Nodes are owned by the engine's nodes slab
+// and recycled through the free list; gen distinguishes successive
+// occupancies of the same slot so stale Handles are harmless.
+type node struct {
+	fn    Handler
+	index int32 // heap index; -1 while on the free list or firing
+	gen   uint32
 }
 
-// At returns the time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// entry is one heap element. It carries the ordering key inline so the sift
+// paths compare without touching the node slab, and holds no pointers so
+// sifting stays free of GC write barriers.
+type entry struct {
+	at   Time
+	seq  uint64
+	node int32
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op. Cancel is safe to call from
-// inside handlers.
-func (e *Event) Cancel() { e.cancelled = true }
+// Handle refers to a scheduled event. The zero Handle is valid and refers to
+// no event. Handles are small values: copy them freely. A Handle left over
+// after its event fired (or was cancelled) is inert — Cancel on it is a
+// no-op, even though the engine may have recycled the underlying record for
+// a new event.
+type Handle struct {
+	e   *Engine
+	at  Time
+	id  int32
+	gen uint32
+}
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// At returns the time the event was scheduled to fire.
+func (h Handle) At() Time { return h.at }
 
-type eventHeap []*Event
+// Pending reports whether the event is still queued: it has neither fired
+// nor been cancelled.
+func (h Handle) Pending() bool {
+	return h.e != nil && h.e.nodes[h.id].gen == h.gen
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel removes a pending event from the queue and reports whether it did.
+// Cancelling an event that has already fired or been cancelled is a no-op
+// returning false. Cancel is safe to call from inside handlers, including
+// the cancelled event's own.
+func (h Handle) Cancel() bool {
+	if h.e == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	n := &h.e.nodes[h.id]
+	if n.gen != h.gen || n.index < 0 {
+		return false
+	}
+	h.e.removeAt(int(n.index))
+	h.e.recycle(h.id, n)
+	return true
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	heap    []entry
+	nodes   []node
+	free    []int32
 	stopped bool
 }
 
@@ -102,40 +115,149 @@ func New() *Engine { return &Engine{} }
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
+// Pending returns the number of scheduled events. Cancelled events are
+// removed immediately, so they never count.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc takes a node from the free list, growing the slab when empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.nodes = append(e.nodes, node{index: -1})
+	return int32(len(e.nodes) - 1)
+}
+
+// recycle returns a fired or cancelled node to the free list, bumping its
+// generation so outstanding Handles to the old occupancy go inert.
+func (e *Engine) recycle(id int32, n *node) {
+	n.gen++
+	n.fn = nil
+	n.index = -1
+	e.free = append(e.free, id)
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past (before
 // Now) panics: it indicates a simulator bug, not a recoverable condition.
-func (e *Engine) At(at Time, fn Handler) *Event {
+func (e *Engine) At(at Time, fn Handler) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("event: scheduling at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	id := e.alloc()
+	n := &e.nodes[id]
+	n.fn = fn
+	seq := e.seq
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return ev
+	e.heap = append(e.heap, entry{at: at, seq: seq, node: id})
+	e.siftUp(len(e.heap) - 1)
+	return Handle{e: e, at: at, id: id, gen: n.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn Handler) *Event { return e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn Handler) Handle { return e.At(e.now+d, fn) }
 
 // Stop makes Run return after the currently-firing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Step fires the single earliest pending non-cancelled event and returns
-// true, or returns false if no events remain.
-func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn(e.now)
-		return true
+// less orders entries by time, then scheduling sequence (FIFO among
+// equal-time events). seq is unique, so this is a total order and the firing
+// sequence is independent of the heap's internal arrangement.
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return false
+	return a.seq < b.seq
+}
+
+const arity = 4
+
+// siftUp restores the heap property from slot i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ent := h[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		if !ent.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.nodes[h[i].node].index = int32(i)
+		i = p
+	}
+	h[i] = ent
+	e.nodes[ent.node].index = int32(i)
+}
+
+// siftDown restores the heap property from slot i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ent := h[i]
+	for {
+		first := i*arity + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].less(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].less(ent) {
+			break
+		}
+		h[i] = h[min]
+		e.nodes[h[i].node].index = int32(i)
+		i = min
+	}
+	h[i] = ent
+	e.nodes[ent.node].index = int32(i)
+}
+
+// removeAt deletes the heap entry at index i, preserving the heap property.
+func (e *Engine) removeAt(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap = e.heap[:last]
+		// The moved entry may need to go either way relative to its new
+		// neighbourhood.
+		e.siftDown(i)
+		e.siftUp(i)
+	} else {
+		e.heap = e.heap[:last]
+	}
+}
+
+// popMin removes the earliest entry, recycles its node, and returns the
+// handler and fire time. The caller must have checked len(e.heap) > 0.
+func (e *Engine) popMin() (Handler, Time) {
+	root := e.heap[0]
+	e.removeAt(0)
+	id := root.node
+	n := &e.nodes[id]
+	fn := n.fn
+	e.recycle(id, n)
+	return fn, root.at
+}
+
+// Step fires the single earliest pending event and returns true, or returns
+// false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	fn, at := e.popMin()
+	e.now = at
+	fn(at)
+	return true
 }
 
 // Run fires events in order until no events remain, the clock would pass
@@ -144,26 +266,10 @@ func (e *Engine) Step() bool {
 // or to the last fired event otherwise.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
-	for !e.stopped {
-		// Peek for horizon check without popping cancelled noise first.
-		idx := -1
-		for len(e.heap) > 0 {
-			if e.heap[0].cancelled {
-				heap.Pop(&e.heap)
-				continue
-			}
-			idx = 0
-			break
-		}
-		if idx == -1 {
-			break
-		}
-		if e.heap[0].at > until {
-			break
-		}
-		ev := heap.Pop(&e.heap).(*Event)
-		e.now = ev.at
-		ev.fn(e.now)
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= until {
+		fn, at := e.popMin()
+		e.now = at
+		fn(at)
 	}
 	if e.now < until {
 		e.now = until
@@ -173,6 +279,9 @@ func (e *Engine) Run(until Time) {
 // RunAll fires events until the queue is empty or Stop is called.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped && len(e.heap) > 0 {
+		fn, at := e.popMin()
+		e.now = at
+		fn(at)
 	}
 }

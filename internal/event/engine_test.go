@@ -24,7 +24,6 @@ func TestOrdering(t *testing.T) {
 	e := New()
 	var got []Time
 	for _, at := range []Time{30, 10, 20, 10, 5} {
-		at := at
 		e.At(at, func(now Time) { got = append(got, now) })
 	}
 	e.RunAll()
@@ -54,35 +53,154 @@ func TestFIFOAmongEqualTimes(t *testing.T) {
 	}
 }
 
+// FIFO must survive node recycling: after a full drain, re-scheduled events
+// reuse pooled records and must still fire in scheduling order at equal
+// times.
+func TestFIFOAcrossPoolReuse(t *testing.T) {
+	e := New()
+	for round := 0; round < 5; round++ {
+		at := e.Now() + 10
+		var got []int
+		for i := 0; i < 200; i++ {
+			i := i
+			e.At(at, func(Time) { got = append(got, i) })
+		}
+		e.RunAll()
+		if len(got) != 200 {
+			t.Fatalf("round %d: fired %d events, want 200", round, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("round %d: equal-time events fired out of FIFO order at %d: got %d", round, i, v)
+			}
+		}
+	}
+}
+
 func TestCancel(t *testing.T) {
 	e := New()
 	fired := 0
 	ev := e.At(10, func(Time) { fired++ })
-	e.At(5, func(Time) { ev.Cancel() })
+	if !ev.Pending() {
+		t.Fatal("Pending() = false before run")
+	}
+	e.At(5, func(Time) {
+		if !ev.Cancel() {
+			t.Error("Cancel() = false on a pending event")
+		}
+	})
 	e.RunAll()
 	if fired != 0 {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if ev.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
 	// Cancelling again must be a no-op.
-	ev.Cancel()
+	if ev.Cancel() {
+		t.Fatal("second Cancel() = true")
+	}
 }
 
 func TestCancelAlreadyFired(t *testing.T) {
 	e := New()
-	var ev *Event
-	ev = e.At(10, func(Time) {})
+	ev := e.At(10, func(Time) {})
 	e.RunAll()
-	ev.Cancel() // must not panic
+	if ev.Cancel() {
+		t.Fatal("Cancel() = true on a fired event")
+	}
+	if ev.Pending() {
+		t.Fatal("Pending() = true after fire")
+	}
+}
+
+// A stale handle must stay inert even after its pooled record has been
+// recycled for a new event: cancelling the old handle must not cancel the
+// new occupant.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	e := New()
+	old := e.At(1, func(Time) {})
+	e.RunAll() // fires; record returns to the free list
+	fired := false
+	fresh := e.At(e.Now()+5, func(Time) { fired = true }) // reuses the record
+	if old.Cancel() {
+		t.Fatal("stale handle cancelled something")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost to a stale handle")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+// Cancel from inside handlers: a handler cancelling a later event, a handler
+// cancelling an equal-time event scheduled after it, and a handler using its
+// own (already-fired) handle.
+func TestCancelInsideHandler(t *testing.T) {
+	e := New()
+	fired := make(map[string]bool)
+
+	later := e.At(20, func(Time) { fired["later"] = true })
+	var self Handle
+	self = e.At(10, func(Time) {
+		fired["self"] = true
+		if self.Cancel() {
+			t.Error("handler cancelled its own firing event")
+		}
+		if !later.Cancel() {
+			t.Error("handler failed to cancel a later pending event")
+		}
+	})
+	// Equal-time pair: the first handler cancels the second before it fires.
+	var second Handle
+	e.At(15, func(Time) { second.Cancel() })
+	second = e.At(15, func(Time) { fired["second"] = true })
+
+	e.RunAll()
+	if !fired["self"] {
+		t.Fatal("self event did not fire")
+	}
+	if fired["later"] {
+		t.Fatal("cancelled later event fired")
+	}
+	if fired["second"] {
+		t.Fatal("equal-time event cancelled from a handler still fired")
+	}
+}
+
+// Cancelled events must leave the queue immediately, not at their fire time.
+func TestMassCancelShrinksQueue(t *testing.T) {
+	e := New()
+	handles := make([]Handle, 1000)
+	for i := range handles {
+		handles[i] = e.At(Time(1_000_000+i), func(Time) {})
+	}
+	if e.Pending() != 1000 {
+		t.Fatalf("Pending = %d, want 1000", e.Pending())
+	}
+	cancelled := 0
+	for i := range handles {
+		if i%3 != 0 {
+			handles[i].Cancel()
+			cancelled++
+		}
+	}
+	if got, want := e.Pending(), 1000-cancelled; got != want {
+		t.Fatalf("Pending = %d after cancelling %d, want %d (eager removal)", got, cancelled, want)
+	}
+	e.At(2_000_000, func(Time) {})
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after RunAll, want 0", e.Pending())
+	}
 }
 
 func TestHorizon(t *testing.T) {
 	e := New()
 	fired := make(map[Time]bool)
 	for _, at := range []Time{10, 20, 30} {
-		at := at
 		e.At(at, func(now Time) { fired[now] = true })
 	}
 	e.Run(20)
@@ -192,8 +310,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		e := New()
 		n := 1 + rng.Intn(50)
 		firedCount := 0
-		events := make([]*Event, n)
-		cancelled := make([]bool, n)
+		events := make([]Handle, n)
 		for i := 0; i < n; i++ {
 			events[i] = e.At(Time(rng.Intn(100)), func(Time) { firedCount++ })
 		}
@@ -201,7 +318,6 @@ func TestPropertyCancelSubset(t *testing.T) {
 		for i := 0; i < n; i++ {
 			if rng.Intn(2) == 0 {
 				events[i].Cancel()
-				cancelled[i] = true
 			} else {
 				wantFired++
 			}
@@ -211,6 +327,153 @@ func TestPropertyCancelSubset(t *testing.T) {
 			t.Fatalf("iter %d: fired %d, want %d", iter, firedCount, wantFired)
 		}
 	}
+}
+
+// --- Reference-model equivalence -----------------------------------------
+
+// refEngine is an obviously-correct unpooled reference: a flat slice scanned
+// for the (time, seq) minimum on every step. It exists only to pin down the
+// pooled engine's observable behaviour.
+type refEngine struct {
+	now    Time
+	seq    uint64
+	events []*refEvent
+}
+
+type refEvent struct {
+	at        Time
+	seq       uint64
+	fn        Handler
+	done      bool
+	cancelled bool
+}
+
+func (r *refEngine) At(at Time, fn Handler) *refEvent {
+	ev := &refEvent{at: at, seq: r.seq, fn: fn}
+	r.seq++
+	r.events = append(r.events, ev)
+	return ev
+}
+
+func (r *refEngine) RunAll() {
+	for {
+		var min *refEvent
+		for _, ev := range r.events {
+			if ev.done || ev.cancelled {
+				continue
+			}
+			if min == nil || ev.at < min.at || (ev.at == min.at && ev.seq < min.seq) {
+				min = ev
+			}
+		}
+		if min == nil {
+			return
+		}
+		min.done = true
+		r.now = min.at
+		min.fn(r.now)
+	}
+}
+
+// Property: for 10k random schedules — including cancels and re-schedules
+// from inside handlers, which exercise pool reuse mid-run — the pooled
+// engine fires the identical (time, tag) sequence as the unpooled reference.
+func TestPooledMatchesReference(t *testing.T) {
+	const total = 10_000
+
+	type op struct {
+		delay     Time // relative to the current clock when scheduled
+		tag       int
+		chainTag  int  // if >= 0, the handler schedules a follow-up with this tag
+		chainAt   Time // follow-up delay
+		cancelTag int  // if >= 0, the handler cancels this tag's event
+	}
+	rng := rand.New(rand.NewSource(42))
+	ops := make([]op, total)
+	for i := range ops {
+		o := op{delay: Time(rng.Intn(5000)), tag: i, chainTag: -1, cancelTag: -1}
+		switch rng.Intn(10) {
+		case 0:
+			o.chainTag = total + i
+			o.chainAt = Time(rng.Intn(500))
+		case 1:
+			o.cancelTag = rng.Intn(total)
+		}
+		ops[i] = o
+	}
+
+	run := func(schedule func(at Time, fn Handler) (cancel func() bool), runAll func(), now func() Time) []string {
+		var fired []string
+		cancels := map[int]func() bool{}
+		var exec func(o op) Handler
+		exec = func(o op) Handler {
+			return func(at Time) {
+				fired = append(fired, timeTag(at, o.tag))
+				if o.chainTag >= 0 {
+					co := op{delay: o.chainAt, tag: o.chainTag, chainTag: -1, cancelTag: -1}
+					cancels[co.tag] = schedule(now()+co.delay, exec(co))
+				}
+				if o.cancelTag >= 0 {
+					if c := cancels[o.cancelTag]; c != nil {
+						c()
+					}
+				}
+			}
+		}
+		for _, o := range ops {
+			cancels[o.tag] = schedule(now()+o.delay, exec(o))
+		}
+		runAll()
+		return fired
+	}
+
+	e := New()
+	pooled := run(
+		func(at Time, fn Handler) func() bool { h := e.At(at, fn); return h.Cancel },
+		e.RunAll,
+		e.Now,
+	)
+
+	r := &refEngine{}
+	reference := run(
+		func(at Time, fn Handler) func() bool {
+			ev := r.At(at, fn)
+			return func() bool {
+				was := !ev.done && !ev.cancelled
+				ev.cancelled = true
+				return was
+			}
+		},
+		r.RunAll,
+		func() Time { return r.now },
+	)
+
+	if len(pooled) != len(reference) {
+		t.Fatalf("pooled fired %d events, reference %d", len(pooled), len(reference))
+	}
+	for i := range pooled {
+		if pooled[i] != reference[i] {
+			t.Fatalf("firing sequence diverges at %d: pooled %s, reference %s", i, pooled[i], reference[i])
+		}
+	}
+}
+
+func timeTag(at Time, tag int) string {
+	return at.String() + "#" + itoa(tag)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
 }
 
 func BenchmarkEngineChurn(b *testing.B) {

@@ -19,6 +19,7 @@ type loadSampler struct {
 	sys      *sched.System
 	name     string
 	sample   event.Time
+	sampleFn event.Handler // cached method value: evaluating g.onSample allocates
 	lastBusy []event.Time
 	target   func(cl *platform.Cluster, curMHz int, util float64) int
 }
@@ -28,18 +29,20 @@ func newLoadSampler(sys *sched.System, name string, sampleMs int,
 	if sampleMs <= 0 {
 		sampleMs = 20
 	}
-	return &loadSampler{
+	g := &loadSampler{
 		sys:      sys,
 		name:     name,
 		sample:   event.Time(sampleMs) * event.Millisecond,
 		lastBusy: make([]event.Time, len(sys.SoC.Cores)),
 		target:   target,
 	}
+	g.sampleFn = g.onSample
+	return g
 }
 
 // Start schedules the periodic sampling.
 func (g *loadSampler) Start() {
-	g.sys.Eng.After(g.sample, g.onSample)
+	g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 func (g *loadSampler) onSample(now event.Time) {
@@ -78,7 +81,7 @@ func (g *loadSampler) onSample(now event.Time) {
 			}
 		}
 	}
-	g.sys.Eng.After(g.sample, g.onSample)
+	g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 // NewOndemand builds the classic Linux ondemand governor: jump straight to

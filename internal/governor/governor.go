@@ -58,6 +58,7 @@ type Interactive struct {
 
 	sys      *sched.System
 	sample   event.Time
+	sampleFn event.Handler // cached method value: evaluating g.onSample allocates
 	lastBusy []event.Time
 	// Per-cluster hold state for the delay tunables.
 	hispeedSince []event.Time
@@ -94,12 +95,13 @@ func NewInteractive(sys *sched.System, cfg InteractiveConfig) *Interactive {
 	for i := range g.hispeedSince {
 		g.hispeedSince[i] = -1
 	}
+	g.sampleFn = g.onSample
 	return g
 }
 
 // Start schedules the periodic sampling.
 func (g *Interactive) Start() {
-	g.sys.Eng.After(g.sample, g.onSample)
+	g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 func (g *Interactive) hispeed(t platform.CoreType) int {
@@ -188,7 +190,7 @@ func (g *Interactive) onSample(now event.Time) {
 			g.FreqLog(now, ci, newMHz)
 		}
 	}
-	g.sys.Eng.After(g.sample, g.onSample)
+	g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 // coreTarget applies Algorithm 2 for one core.

@@ -98,11 +98,15 @@ type Sampler struct {
 	Residency map[platform.CoreType]map[int]event.Time
 
 	meter power.Meter
+
+	sampleFn event.Handler // cached method value: evaluating m.onSample allocates
+	// clusterActive is reused across samples, indexed by cluster ID.
+	clusterActive []bool
 }
 
 // NewSampler creates a sampler over sys using power model pw.
 func NewSampler(sys *sched.System, pw power.Params) *Sampler {
-	return &Sampler{
+	m := &Sampler{
 		sys:      sys,
 		pw:       pw,
 		lastBusy: make([]event.Time, len(sys.SoC.Cores)),
@@ -112,21 +116,25 @@ func NewSampler(sys *sched.System, pw power.Params) *Sampler {
 			platform.Big:    {},
 			platform.Tiny:   {},
 		},
-		utilSum:   map[platform.CoreType]float64{},
-		utilCount: map[platform.CoreType]int{},
+		utilSum:       map[platform.CoreType]float64{},
+		utilCount:     map[platform.CoreType]int{},
+		clusterActive: make([]bool, len(sys.SoC.Clusters)),
 	}
+	m.sampleFn = m.onSample
+	return m
 }
 
 // Start schedules periodic sampling.
 func (m *Sampler) Start() {
-	m.sys.Eng.After(SampleInterval, m.onSample)
+	m.sys.Eng.After(SampleInterval, m.sampleFn)
 }
 
 func (m *Sampler) onSample(now event.Time) {
 	m.sys.SyncAll(now)
 	soc := m.sys.SoC
 	little, big := 0, 0
-	clusterActive := map[int]bool{}
+	clusterActive := m.clusterActive
+	clear(clusterActive)
 	// Whole-system power accumulates exactly as power.SystemPowerMW would
 	// (base rail first, then each online core in ID order) so the meter
 	// reading is unchanged; keeping the per-core terms lets the profiler
@@ -199,7 +207,7 @@ func (m *Sampler) onSample(now event.Time) {
 			Value: mw,
 		})
 	}
-	m.sys.Eng.After(SampleInterval, m.onSample)
+	m.sys.Eng.After(SampleInterval, m.sampleFn)
 }
 
 func classify(t platform.CoreType, cl *platform.Cluster, util float64) EffState {

@@ -243,8 +243,17 @@ func (s *SoC) OnlineCores(t CoreType) []int {
 	return ids
 }
 
-// OnlineCount returns the number of online cores of type t.
-func (s *SoC) OnlineCount(t CoreType) int { return len(s.OnlineCores(t)) }
+// OnlineCount returns the number of online cores of type t without
+// allocating the ID slice OnlineCores builds.
+func (s *SoC) OnlineCount(t CoreType) int {
+	n := 0
+	for i := range s.Cores {
+		if s.Cores[i].Type == t && s.Cores[i].Online {
+			n++
+		}
+	}
+	return n
+}
 
 // CoreConfig is a hotplug configuration: how many little and big cores are
 // online. The paper's §V-C notation "L2+B1" means two little cores and one

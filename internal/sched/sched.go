@@ -98,9 +98,13 @@ type Task struct {
 	pinned    int // affinity: -1 means any core
 	lastCPU   int // last cpu it was queued on (for wake placement / freq scale)
 	remaining float64
-	fifo      []float64
-	ranNs     event.Time // execution time within the current tick window
-	wokeAt    event.Time
+	// fifo[fifoHead:] holds pending work segments. The head index (rather
+	// than re-slicing fifo[1:]) keeps the backing array's front capacity, so
+	// steady push/pop cycles reuse one allocation instead of growing forever.
+	fifo     []float64
+	fifoHead int
+	ranNs    event.Time // execution time within the current tick window
+	wokeAt   event.Time
 	// sleepLoad is an EWMA of the task's load at each sleep transition —
 	// its "burst footprint", used to gate the tiny tier.
 	sleepLoad float64
@@ -151,15 +155,19 @@ func (t *Task) CurState() State { return t.state }
 func (t *Task) CPU() int { return t.cpu }
 
 // Queued returns the number of pending work segments beyond the current one.
-func (t *Task) Queued() int { return len(t.fifo) }
+func (t *Task) Queued() int { return len(t.fifo) - t.fifoHead }
 
 type cpu struct {
-	id         int
-	typ        platform.CoreType
-	queue      []*Task
-	lastSync   event.Time
-	busyCum    event.Time
-	completion *event.Event
+	id       int
+	typ      platform.CoreType
+	queue    []*Task
+	lastSync event.Time
+	busyCum  event.Time
+	// completion is the pending completion event for the head task.
+	// completeFn is the handler it fires, built once per cpu so dispatch —
+	// the hottest scheduler path — never allocates a closure.
+	completion event.Handle
+	completeFn event.Handler
 	sliceUsed  int // consecutive ticks the head has run (for round-robin)
 	// idleSince marks when the core last became idle; deepCum accumulates
 	// time spent in the deep idle state (after Cfg.DeepIdleAfter of idling).
@@ -176,6 +184,7 @@ type System struct {
 	cpus    []*cpu
 	tasks   []*Task
 	tick    event.Time
+	tickFn  event.Handler // onTick bound once; re-arming it must not allocate
 	started bool
 
 	// Tel, when non-nil, receives a telemetry event for every migration
@@ -224,8 +233,11 @@ func New(eng *event.Engine, soc *platform.SoC, cfg Config) *System {
 		cfg.TickMs = 1
 	}
 	s := &System{Eng: eng, SoC: soc, Cfg: cfg, tick: event.Time(cfg.TickMs) * event.Millisecond}
+	s.tickFn = s.onTick
 	for i := range soc.Cores {
-		s.cpus = append(s.cpus, &cpu{id: i, typ: soc.Cores[i].Type})
+		c := &cpu{id: i, typ: soc.Cores[i].Type}
+		c.completeFn = func(at event.Time) { s.onCompletion(c, at) }
+		s.cpus = append(s.cpus, c)
 	}
 	return s
 }
@@ -259,7 +271,7 @@ func (s *System) Start() {
 		return
 	}
 	s.started = true
-	s.Eng.After(s.tick, s.onTick)
+	s.Eng.After(s.tick, s.tickFn)
 }
 
 // TinyPerfScale is the per-clock efficiency of a tiny core relative to a
@@ -352,10 +364,8 @@ func (s *System) QueueLen(id int) int { return len(s.cpus[id].queue) }
 
 // dispatch (re)programs the completion event for cpu c's head task.
 func (s *System) dispatch(c *cpu, now event.Time) {
-	if c.completion != nil {
-		c.completion.Cancel()
-		c.completion = nil
-	}
+	c.completion.Cancel()
+	c.completion = event.Handle{}
 	if len(c.queue) == 0 {
 		return
 	}
@@ -369,9 +379,7 @@ func (s *System) dispatch(c *cpu, now event.Time) {
 		return
 	}
 	ns := event.Time(head.remaining/r) + 1
-	c.completion = s.Eng.At(now+ns, func(fireAt event.Time) {
-		s.onCompletion(c, fireAt)
-	})
+	c.completion = s.Eng.At(now+ns, c.completeFn)
 }
 
 // onCompletion handles the head task finishing its current segment.
@@ -388,9 +396,13 @@ func (s *System) onCompletion(c *cpu, now event.Time) {
 	}
 	head.remaining = 0
 	head.SegmentsDone++
-	if len(head.fifo) > 0 {
-		head.remaining = head.fifo[0]
-		head.fifo = head.fifo[1:]
+	if head.fifoHead < len(head.fifo) {
+		head.remaining = head.fifo[head.fifoHead]
+		head.fifoHead++
+		if head.fifoHead == len(head.fifo) {
+			head.fifo = head.fifo[:0]
+			head.fifoHead = 0
+		}
 		if head.OnSegment != nil {
 			head.OnSegment(now)
 		}
@@ -398,7 +410,11 @@ func (s *System) onCompletion(c *cpu, now event.Time) {
 		return
 	}
 	// Drained: go to sleep; fold the current load into the burst footprint.
-	c.queue = c.queue[1:]
+	// Shift in place (not queue[1:]) so the backing array's capacity is kept
+	// for reuse; queues are a handful of tasks, so the copy is trivial.
+	copy(c.queue, c.queue[1:])
+	c.queue[len(c.queue)-1] = nil
+	c.queue = c.queue[:len(c.queue)-1]
 	c.sliceUsed = 0
 	head.state = Sleeping
 	head.cpu = -1
@@ -537,23 +553,25 @@ func (s *System) wakeCPU(t *Task) *cpu {
 	panic("sched: no online cores")
 }
 
+// pickCPU selects the wake/migration destination among online cores of typ:
+// the task's idle previous core if eligible (cache affinity), else the first
+// shortest queue in core-ID order. It iterates the cpu array directly rather
+// than materializing an online-ID slice — this runs on every wake and every
+// migration check, and must not allocate.
 func (s *System) pickCPU(typ platform.CoreType, t *Task) *cpu {
-	ids := s.SoC.OnlineCores(typ)
-	if len(ids) == 0 {
-		return nil
-	}
 	// Idle previous CPU wins (cache affinity).
 	if t.lastCPU >= 0 {
-		for _, id := range ids {
-			if id == t.lastCPU && len(s.cpus[id].queue) == 0 {
-				return s.cpus[id]
-			}
+		if c := s.cpus[t.lastCPU]; c.typ == typ && s.SoC.Cores[c.id].Online && len(c.queue) == 0 {
+			return c
 		}
 	}
-	best := s.cpus[ids[0]]
-	for _, id := range ids[1:] {
-		if len(s.cpus[id].queue) < len(best.queue) {
-			best = s.cpus[id]
+	var best *cpu
+	for _, c := range s.cpus {
+		if c.typ != typ || !s.SoC.Cores[c.id].Online {
+			continue
+		}
+		if best == nil || len(c.queue) < len(best.queue) {
+			best = c
 		}
 	}
 	return best
@@ -577,7 +595,7 @@ func (s *System) onTick(now event.Time) {
 	if s.TickHook != nil {
 		s.TickHook(now)
 	}
-	s.Eng.After(s.tick, s.onTick)
+	s.Eng.After(s.tick, s.tickFn)
 }
 
 // updateLoads feeds each task's tracker with its runnable fraction of the
@@ -686,6 +704,19 @@ func (s *System) removeFromQueue(c *cpu, t *Task) {
 // task from the most loaded core of their own cluster (traditional load
 // balancing across same-type cores, §IV-B).
 func (s *System) balance(now event.Time) {
+	// Fast path: nothing to pull anywhere. On interactive workloads most
+	// ticks have no queue deeper than one, and this scan is a fraction of
+	// the full idle-core x busiest-core product below.
+	overloaded := false
+	for _, c := range s.cpus {
+		if len(c.queue) > 1 {
+			overloaded = true
+			break
+		}
+	}
+	if !overloaded {
+		return
+	}
 	for _, c := range s.cpus {
 		if !s.SoC.Cores[c.id].Online || len(c.queue) != 0 {
 			continue

@@ -35,6 +35,10 @@ type Instr struct {
 	Taken bool
 	// Target is the fetch redirect address for taken branches.
 	Target uint64
+	// NextPC is the fetch address after this instruction retires — the value
+	// Stream.PC() returns at this point in the trace. Batch consumers use it
+	// for instruction-cache modeling without calling back into the stream.
+	NextPC uint64
 }
 
 // Profile describes a SPEC-like workload statistically.
@@ -84,13 +88,27 @@ type Profile struct {
 const dataBase = 1 << 32
 
 // Stream is a deterministic generator of the profile's instruction trace.
+//
+// The per-instruction loop is the hottest code in every SPEC experiment, so
+// the stream draws directly from the underlying rand source (src) with
+// inlined copies of math/rand's Float64 and Int63n derivations — bit-identical
+// value streams, minus a layer of wrapper calls — and precomputes the
+// cumulative instruction-mix thresholds once instead of re-summing the
+// fractions on every draw.
 type Stream struct {
 	p         Profile
 	rng       *rand.Rand
+	src       rand.Source64 // same source rng wraps; nil only if unavailable
 	pc        uint64
 	loopBase  uint64
 	streamPtr uint64
 	emitted   int
+
+	// Cumulative mix thresholds: a uniform draw r selects Load below loadT,
+	// Store below storeT, Branch below branchT, else ALU. Precomputed with
+	// the same left-to-right additions the inline expressions used, so the
+	// comparisons are bit-identical.
+	loadT, storeT, branchT float64
 }
 
 // NewStream returns a generator seeded purely by the profile name, so two
@@ -98,10 +116,51 @@ type Stream struct {
 func NewStream(p Profile) *Stream {
 	h := fnv.New64a()
 	h.Write([]byte(p.Name))
-	return &Stream{
-		p:   p,
-		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
+	src := rand.NewSource(int64(h.Sum64()))
+	s := &Stream{
+		p:       p,
+		rng:     rand.New(src),
+		loadT:   p.LoadFrac,
+		storeT:  p.LoadFrac + p.StoreFrac,
+		branchT: p.LoadFrac + p.StoreFrac + p.BranchFrac,
 	}
+	s.src, _ = src.(rand.Source64)
+	return s
+}
+
+// f64 mirrors math/rand.(*Rand).Float64 over the stream's source: identical
+// algorithm (including the astronomically rare resample at exactly 1.0), so
+// the value sequence matches the wrapped rng draw-for-draw.
+func (s *Stream) f64() float64 {
+	if s.src == nil {
+		return s.rng.Float64()
+	}
+	for {
+		f := float64(s.src.Int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}
+
+// i63n mirrors math/rand.(*Rand).Int63n over the stream's source, including
+// the power-of-two mask shortcut and the modulo-bias rejection loop.
+func (s *Stream) i63n(n int64) int64 {
+	if s.src == nil {
+		return s.rng.Int63n(n)
+	}
+	if n <= 0 {
+		panic("invalid argument to Int63n")
+	}
+	if n&(n-1) == 0 {
+		return s.src.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := s.src.Int63()
+	for v > max {
+		v = s.src.Int63()
+	}
+	return v % n
 }
 
 // Profile returns the stream's profile.
@@ -115,57 +174,71 @@ func (s *Stream) PC() uint64 { return s.pc }
 
 // Next produces the next instruction in the trace.
 func (s *Stream) Next() Instr {
-	s.emitted++
-	var in Instr
-	r := s.rng.Float64()
-	switch {
-	case r < s.p.LoadFrac:
-		in.Kind = Load
-		in.Addr = s.dataAddr()
-	case r < s.p.LoadFrac+s.p.StoreFrac:
-		in.Kind = Store
-		in.Addr = s.dataAddr()
-	case r < s.p.LoadFrac+s.p.StoreFrac+s.p.BranchFrac:
-		in.Kind = Branch
-		in.Mispredicted = s.rng.Float64() < s.p.MispredictRate
-		in.Taken = s.rng.Float64() < s.p.TakenRate
-		if in.Taken && s.p.CodeFootprintB > 0 {
-			if s.rng.Float64() < s.p.FarJumpFrac {
-				// Cold jump: relocate to a fresh region of the footprint
-				// (a call into rarely-used code); the loop base moves too.
-				in.Target = uint64(s.rng.Int63n(int64(s.p.CodeFootprintB))) &^ 3
-				s.loopBase = in.Target
-			} else {
-				// Loop back-edge: return near the current loop base, which
-				// the fetch stream has been re-executing — reproducing the
-				// instruction-cache locality of loop-dominated code.
-				t := s.loopBase + uint64(s.rng.Int63n(64))&^3
-				if t >= s.p.CodeFootprintB {
-					t = s.loopBase
+	var one [1]Instr
+	s.NextBatch(one[:])
+	return one[0]
+}
+
+// NextBatch fills buf with the next len(buf) instructions of the trace —
+// the same sequence len(buf) Next calls would produce. Consumers reuse one
+// buffer across calls so bulk generation stays allocation-free and the
+// stream's state loads are amortized over the batch.
+func (s *Stream) NextBatch(buf []Instr) {
+	p := &s.p
+	s.emitted += len(buf)
+	for i := range buf {
+		var in Instr
+		r := s.f64()
+		switch {
+		case r < s.loadT:
+			in.Kind = Load
+			in.Addr = s.dataAddr()
+		case r < s.storeT:
+			in.Kind = Store
+			in.Addr = s.dataAddr()
+		case r < s.branchT:
+			in.Kind = Branch
+			in.Mispredicted = s.f64() < p.MispredictRate
+			in.Taken = s.f64() < p.TakenRate
+			if in.Taken && p.CodeFootprintB > 0 {
+				if s.f64() < p.FarJumpFrac {
+					// Cold jump: relocate to a fresh region of the footprint
+					// (a call into rarely-used code); the loop base moves too.
+					in.Target = uint64(s.i63n(int64(p.CodeFootprintB))) &^ 3
+					s.loopBase = in.Target
+				} else {
+					// Loop back-edge: return near the current loop base, which
+					// the fetch stream has been re-executing — reproducing the
+					// instruction-cache locality of loop-dominated code.
+					t := s.loopBase + uint64(s.i63n(64))&^3
+					if t >= p.CodeFootprintB {
+						t = s.loopBase
+					}
+					in.Target = t
 				}
-				in.Target = t
+			}
+		default:
+			in.Kind = ALU
+		}
+		// Advance fetch: sequential, redirected by taken branches.
+		if in.Kind == Branch && in.Taken {
+			s.pc = in.Target
+		} else {
+			s.pc += 4
+			if p.CodeFootprintB > 0 && s.pc >= p.CodeFootprintB {
+				s.pc = 0
 			}
 		}
-	default:
-		in.Kind = ALU
+		in.NextPC = s.pc
+		buf[i] = in
 	}
-	// Advance fetch: sequential, redirected by taken branches.
-	if in.Kind == Branch && in.Taken {
-		s.pc = in.Target
-	} else {
-		s.pc += 4
-		if s.p.CodeFootprintB > 0 && s.pc >= s.p.CodeFootprintB {
-			s.pc = 0
-		}
-	}
-	return in
 }
 
 func (s *Stream) dataAddr() uint64 {
-	if s.p.HotSetB > 0 && s.rng.Float64() < s.p.HotFrac {
-		return dataBase + uint64(s.rng.Int63n(int64(s.p.HotSetB)))&^7
+	if s.p.HotSetB > 0 && s.f64() < s.p.HotFrac {
+		return dataBase + uint64(s.i63n(int64(s.p.HotSetB)))&^7
 	}
-	if s.rng.Float64() < s.p.StreamFrac {
+	if s.f64() < s.p.StreamFrac {
 		s.streamPtr += 8
 		if s.streamPtr >= s.p.WorkingSetB {
 			s.streamPtr = 0
@@ -176,7 +249,7 @@ func (s *Stream) dataAddr() uint64 {
 	if span <= 0 {
 		span = 64
 	}
-	return dataBase + s.p.HotSetB + uint64(s.rng.Int63n(span))&^7
+	return dataBase + s.p.HotSetB + uint64(s.i63n(span))&^7
 }
 
 const (

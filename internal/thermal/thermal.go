@@ -62,6 +62,7 @@ type Model struct {
 	sys      *sched.System
 	pw       power.Params
 	sample   event.Time
+	sampleFn event.Handler // cached method value: evaluating m.onSample allocates
 	lastBusy []event.Time
 	lastDeep []event.Time
 
@@ -95,12 +96,13 @@ func Attach(sys *sched.System, pw power.Params, par Params) *Model {
 		m.TempC[i] = par.AmbientC
 	}
 	m.MaxTempC = par.AmbientC
+	m.sampleFn = m.onSample
 	return m
 }
 
 // Start schedules the periodic thermal sampling.
 func (m *Model) Start() {
-	m.sys.Eng.After(m.sample, m.onSample)
+	m.sys.Eng.After(m.sample, m.sampleFn)
 }
 
 func (m *Model) onSample(now event.Time) {
@@ -200,7 +202,7 @@ func (m *Model) onSample(now event.Time) {
 	if throttledNow {
 		m.ThrottledNs += m.sample
 	}
-	m.sys.Eng.After(m.sample, m.onSample)
+	m.sys.Eng.After(m.sample, m.sampleFn)
 }
 
 // ThrottledPct returns the share of elapsed time with a throttle cap

@@ -1,0 +1,67 @@
+package uarch
+
+import (
+	"testing"
+
+	"biglittle/internal/synth"
+)
+
+func resetMemos() {
+	runMu.Lock()
+	clear(runMemo)
+	runMu.Unlock()
+	prefillMu.Lock()
+	clear(prefillMemo)
+	prefillMu.Unlock()
+}
+
+// The trace memo must be invisible: a Run served by replaying a recorded
+// trace must equal — bit for bit, every float field — a Run that simulated
+// the trace from scratch, regardless of which frequency recorded the trace.
+func TestRunMemoBitIdentical(t *testing.T) {
+	models := []Model{CortexA7(), CortexA15()}
+	profiles := synth.SPEC()[:3]
+	freqs := []int{800, 1300, 1900}
+	const instr = 50_000
+
+	for _, m := range models {
+		for _, p := range profiles {
+			// Reference: every frequency simulated on a cold memo.
+			ref := make(map[int]Result, len(freqs))
+			for _, f := range freqs {
+				resetMemos()
+				ref[f] = Run(m, p, f, instr)
+			}
+			// Warm replay: same key served from the memo.
+			for _, f := range freqs {
+				resetMemos()
+				Run(m, p, f, instr)
+				if got := Run(m, p, f, instr); got != ref[f] {
+					t.Errorf("%s/%s@%d: warm replay diverged\n got %+v\nwant %+v", m.Name, p.Name, f, got, ref[f])
+				}
+			}
+			// Cross-frequency replay: record at one frequency, replay at another.
+			resetMemos()
+			Run(m, p, freqs[0], instr)
+			for _, f := range freqs[1:] {
+				if got := Run(m, p, f, instr); got != ref[f] {
+					t.Errorf("%s/%s@%d: cross-freq replay diverged\n got %+v\nwant %+v", m.Name, p.Name, f, got, ref[f])
+				}
+			}
+		}
+	}
+}
+
+// Different trace lengths must occupy distinct memo entries.
+func TestRunMemoKeyedByLength(t *testing.T) {
+	resetMemos()
+	m, p := CortexA15(), synth.SPEC()[0]
+	a := Run(m, p, 1300, 10_000)
+	b := Run(m, p, 1300, 20_000)
+	if a.Instructions != 10_000 || b.Instructions != 20_000 {
+		t.Fatalf("instruction counts clobbered: %d, %d", a.Instructions, b.Instructions)
+	}
+	if a.Cycles == b.Cycles {
+		t.Fatal("distinct trace lengths returned identical cycle counts")
+	}
+}

@@ -12,6 +12,8 @@
 package uarch
 
 import (
+	"sync"
+
 	"biglittle/internal/cache"
 	"biglittle/internal/synth"
 )
@@ -113,16 +115,64 @@ type Result struct {
 	FetchCycles  float64
 }
 
+// Penalty-event codes recorded by trace and replayed by Run. Only the two
+// memory-side weights depend on frequency, but all four are recorded so the
+// replayed additions interleave in exactly the trace order.
+const (
+	evL2Load = iota
+	evMemLoad
+	evL2Store
+	evMemStore
+)
+
+// runTrace is the frequency-independent outcome of simulating one
+// (model, profile, instructions) trace: the three accumulators whose weights
+// do not depend on frequency, the ordered sequence of memory-penalty events
+// (whose weights do), and the final cache statistics.
+type runTrace struct {
+	base, branch, fetch         float64
+	memEvents                   []uint8
+	l1iStats, l1dStats, l2Stats cache.Stats
+}
+
+type runKey struct {
+	m            Model
+	p            synth.Profile
+	instructions int
+}
+
+var (
+	runMu   sync.Mutex
+	runMemo = map[runKey]*runTrace{}
+)
+
 // Run replays the profile's deterministic trace on the core model at the
 // given frequency. instructions overrides the profile's default trace length
 // when positive (used by short benchmark runs).
+//
+// The cache/branch behaviour of a trace does not depend on frequency —
+// frequency only scales the DRAM-stall weights — so the simulated trace is
+// memoized per (model, profile, length) and each frequency point replays the
+// recorded penalty events with its own weights. The replayed float additions
+// happen in the identical order the direct simulation performed them, so
+// results are bit-identical to simulating every frequency from scratch.
 func Run(m Model, p synth.Profile, freqMHz int, instructions int) Result {
 	if instructions <= 0 {
 		instructions = p.Instructions
 	}
-	l1i := cache.New(m.L1I)
-	h := cache.NewHierarchy(m.L1D, m.L2)
-	prefill(l1i, h, p)
+	key := runKey{m: m, p: p, instructions: instructions}
+	runMu.Lock()
+	tr, ok := runMemo[key]
+	runMu.Unlock()
+	if !ok {
+		tr = trace(m, p, instructions)
+		runMu.Lock()
+		if len(runMemo) >= 64 {
+			clear(runMemo) // bound memory across long parameter sweeps
+		}
+		runMemo[key] = tr
+		runMu.Unlock()
+	}
 
 	effIssue := min(float64(m.IssueWidth), p.ILP*m.IPCEfficiency)
 	if effIssue < 0.5 {
@@ -139,55 +189,19 @@ func Run(m Model, p synth.Profile, freqMHz int, instructions int) Result {
 	}
 	memLatCycles := m.MemLatencyNs * float64(freqMHz) / 1000.0
 
-	st := NewStream(p)
-	var base, branch, mem, fetch float64
-	lastFetchLine := uint64(1) << 62 // sentinel: forces first fetch
-	redirected := false
-	for i := 0; i < instructions; i++ {
-		in := st.Next()
-		base += 1 / effIssue
-
-		// Instruction fetch: access L1I once per line crossed. Sequential
-		// refills are hidden by next-line fetch-ahead; only misses on the
-		// fetch immediately following a taken-branch redirect stall the
-		// front end (refill from L2 — code footprints fit L2 everywhere).
-		fl := st.PC() / uint64(m.L1I.LineB)
-		if fl != lastFetchLine {
-			lastFetchLine = fl
-			if !l1i.Access(st.PC()) && redirected {
-				fetch += m.L2LatencyCycles
-			}
-			redirected = false
-		}
-		if in.Kind == synth.Branch && in.Taken {
-			redirected = true
-		}
-
-		switch in.Kind {
-		case synth.Branch:
-			if in.Mispredicted {
-				// The better big-core predictor resolves a fraction of them.
-				branch += m.BranchPenalty * m.PredictorFactor
-			}
-		case synth.Load:
-			switch h.Access(in.Addr) {
-			case cache.L2:
-				mem += m.L2LatencyCycles * m.ShortStallExposed
-			case cache.Memory:
-				mem += memLatCycles / mlp
-			}
-		case synth.Store:
-			switch h.Access(in.Addr) {
-			case cache.L2:
-				mem += m.L2LatencyCycles * m.StoreStallExposed
-			case cache.Memory:
-				mem += memLatCycles / mlp * m.StoreStallExposed
-			}
-		}
+	weights := [4]float64{
+		evL2Load:   m.L2LatencyCycles * m.ShortStallExposed,
+		evMemLoad:  memLatCycles / mlp,
+		evL2Store:  m.L2LatencyCycles * m.StoreStallExposed,
+		evMemStore: memLatCycles / mlp * m.StoreStallExposed,
+	}
+	var mem float64
+	for _, ev := range tr.memEvents {
+		mem += weights[ev]
 	}
 
-	cycles := base + branch + mem + fetch
-	res := Result{
+	cycles := tr.base + tr.branch + mem + tr.fetch
+	return Result{
 		Core:         m.Name,
 		Workload:     p.Name,
 		FreqMHz:      freqMHz,
@@ -196,26 +210,140 @@ func Run(m Model, p synth.Profile, freqMHz int, instructions int) Result {
 		Seconds:      cycles / (float64(freqMHz) * 1e6),
 		CPI:          cycles / float64(instructions),
 		IPC:          float64(instructions) / cycles,
-		L1IMissRate:  l1i.Stats().MissRate(),
-		L1DMissRate:  h.L1D.Stats().MissRate(),
-		L2MissRate:   h.L2.Stats().MissRate(),
-		BaseCycles:   base,
-		BranchCycles: branch,
+		L1IMissRate:  tr.l1iStats.MissRate(),
+		L1DMissRate:  tr.l1dStats.MissRate(),
+		L2MissRate:   tr.l2Stats.MissRate(),
+		BaseCycles:   tr.base,
+		BranchCycles: tr.branch,
 		MemCycles:    mem,
-		FetchCycles:  fetch,
+		FetchCycles:  tr.fetch,
 	}
-	return res
+}
+
+// trace simulates the full instruction trace once, recording every
+// frequency-dependent penalty as an event code instead of a cost.
+func trace(m Model, p synth.Profile, instructions int) *runTrace {
+	l1i := cache.New(m.L1I)
+	h := cache.NewHierarchy(m.L1D, m.L2)
+	prefill(l1i, h, p)
+
+	effIssue := min(float64(m.IssueWidth), p.ILP*m.IPCEfficiency)
+	if effIssue < 0.5 {
+		effIssue = 0.5
+	}
+
+	st := NewStream(p)
+	// Per-instruction costs are loop-invariant; hoisting them preserves the
+	// exact float64 values the in-loop expressions produced (each is the same
+	// left-to-right computation, evaluated once).
+	issueCost := 1 / effIssue
+	brPenalty := m.BranchPenalty * m.PredictorFactor
+	l1iLineB := uint64(m.L1I.LineB)
+
+	tr := &runTrace{memEvents: make([]uint8, 0, 4096)}
+	lastFetchLine := uint64(1) << 62 // sentinel: forces first fetch
+	redirected := false
+	var buf [256]synth.Instr
+	for done := 0; done < instructions; {
+		n := instructions - done
+		if n > len(buf) {
+			n = len(buf)
+		}
+		st.NextBatch(buf[:n])
+		done += n
+		for i := 0; i < n; i++ {
+			in := &buf[i]
+			tr.base += issueCost
+
+			// Instruction fetch: access L1I once per line crossed. Sequential
+			// refills are hidden by next-line fetch-ahead; only misses on the
+			// fetch immediately following a taken-branch redirect stall the
+			// front end (refill from L2 — code footprints fit L2 everywhere).
+			fl := in.NextPC / l1iLineB
+			if fl != lastFetchLine {
+				lastFetchLine = fl
+				if !l1i.Access(in.NextPC) && redirected {
+					tr.fetch += m.L2LatencyCycles
+				}
+				redirected = false
+			}
+			if in.Kind == synth.Branch && in.Taken {
+				redirected = true
+			}
+
+			switch in.Kind {
+			case synth.Branch:
+				if in.Mispredicted {
+					// The better big-core predictor resolves a fraction of them.
+					tr.branch += brPenalty
+				}
+			case synth.Load:
+				switch h.Access(in.Addr) {
+				case cache.L2:
+					tr.memEvents = append(tr.memEvents, evL2Load)
+				case cache.Memory:
+					tr.memEvents = append(tr.memEvents, evMemLoad)
+				}
+			case synth.Store:
+				switch h.Access(in.Addr) {
+				case cache.L2:
+					tr.memEvents = append(tr.memEvents, evL2Store)
+				case cache.Memory:
+					tr.memEvents = append(tr.memEvents, evMemStore)
+				}
+			}
+		}
+	}
+
+	tr.l1iStats = l1i.Stats()
+	tr.l1dStats = h.L1D.Stats()
+	tr.l2Stats = h.L2.Stats()
+	return tr
 }
 
 // NewStream wraps synth.NewStream; indirection point for tests.
 func NewStream(p synth.Profile) *synth.Stream { return synth.NewStream(p) }
+
+// prefillKey identifies a warmed-cache state: the walk below is a pure
+// function of the cache geometries and the profile's footprints.
+type prefillKey struct {
+	l1i, l1d, l2       cache.Config
+	working, hot, code uint64
+}
+
+type prefillSnap struct {
+	l1i, l1d, l2 cache.Snapshot
+}
+
+var (
+	prefillMu   sync.Mutex
+	prefillMemo = map[prefillKey]prefillSnap{}
+)
 
 // prefill warms the caches with the workload's footprint so the measured
 // window sees steady-state behaviour rather than cold misses — the paper's
 // SPEC runs execute billions of instructions, amortizing cold misses to
 // nothing. The cold working set is streamed first and the hot set last, so
 // LRU keeps the hot region resident exactly as a steady-state run would.
+//
+// The warmed state is memoized per (cache configs, footprints): the walk is
+// deterministic, so restoring a snapshot is bit-identical to re-walking, and
+// sweeps that revisit the same core/workload pair skip the warmup entirely.
 func prefill(l1i *cache.Cache, h *cache.Hierarchy, p synth.Profile) {
+	key := prefillKey{
+		l1i: l1i.Config(), l1d: h.L1D.Config(), l2: h.L2.Config(),
+		working: p.WorkingSetB, hot: p.HotSetB, code: p.CodeFootprintB,
+	}
+	prefillMu.Lock()
+	snap, ok := prefillMemo[key]
+	prefillMu.Unlock()
+	if ok {
+		l1i.Restore(snap.l1i)
+		h.L1D.Restore(snap.l1d)
+		h.L2.Restore(snap.l2)
+		return
+	}
+
 	const dataBase = 1 << 32 // must match synth's data segment base
 	for a := uint64(0); a < p.WorkingSetB; a += 64 {
 		h.Access(dataBase + p.HotSetB + a)
@@ -229,6 +357,14 @@ func prefill(l1i *cache.Cache, h *cache.Hierarchy, p synth.Profile) {
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
 	l1i.ResetStats()
+
+	snap = prefillSnap{l1i: l1i.Snapshot(), l1d: h.L1D.Snapshot(), l2: h.L2.Snapshot()}
+	prefillMu.Lock()
+	if len(prefillMemo) >= 64 {
+		clear(prefillMemo) // bound memory across long parameter sweeps
+	}
+	prefillMemo[key] = snap
+	prefillMu.Unlock()
 }
 
 // Speedup returns tBaseline/tCandidate given two results for the same

@@ -38,18 +38,27 @@ const Mc = 1e6
 type Thread struct {
 	Task *sched.Task
 	sys  *sched.System
-	cbs  []func(now event.Time)
+	// cbs[cbHead:] are the pending per-segment callbacks. The head index
+	// (rather than re-slicing cbs[1:]) keeps the backing array's front
+	// capacity, so steady push/pop cycles reuse one allocation.
+	cbs    []func(now event.Time)
+	cbHead int
 }
 
 // NewThread creates a named thread with the given big-core speedup.
 func NewThread(sys *sched.System, name string, speedup float64) *Thread {
 	th := &Thread{Task: sys.NewTask(name, speedup), sys: sys}
 	th.Task.OnSegment = func(now event.Time) {
-		if len(th.cbs) == 0 {
+		if th.cbHead >= len(th.cbs) {
 			return
 		}
-		cb := th.cbs[0]
-		th.cbs = th.cbs[1:]
+		cb := th.cbs[th.cbHead]
+		th.cbs[th.cbHead] = nil // release the closure for GC
+		th.cbHead++
+		if th.cbHead == len(th.cbs) {
+			th.cbs = th.cbs[:0]
+			th.cbHead = 0
+		}
 		if cb != nil {
 			cb(now)
 		}
