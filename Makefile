@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare profile-single serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke profile-single serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -36,6 +36,17 @@ bench-compare:
 	go run ./cmd/blbench compare -baseline BENCH_baseline.json \
 		-critical '^($(GATED_BENCH))$$' -max-regress 10 /tmp/blbench-new.txt
 
+# Append today's gated-benchmark medians to the committed trend file and
+# print the trend. Reuses the measurement bench-compare just made when
+# /tmp/blbench-new.txt exists, so `make bench-compare bench-record` measures
+# once; standalone it measures fresh.
+bench-record:
+	@[ -s /tmp/blbench-new.txt ] || \
+		go test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -count 6 . | tee /tmp/blbench-new.txt
+	go run ./cmd/blbench history -append -file BENCH_history.jsonl \
+		-rev $$(git rev-parse --short HEAD 2>/dev/null || echo unknown) /tmp/blbench-new.txt
+	go run ./cmd/blbench history -file BENCH_history.jsonl
+
 # Capture CPU and allocation profiles of the single-run hot path; DESIGN.md
 # "Performance" explains how to read them.
 profile-single:
@@ -58,6 +69,21 @@ serve-smoke:
 		curl -fsS 127.0.0.1:9814/snapshot | grep -q '"tasks"' && ok=1; \
 		kill -INT $$pid; wait $$pid; \
 		[ $$ok -eq 1 ] && echo "serve-smoke: OK"
+
+# End-to-end smoke of the causal decision tracer: record a golden-config
+# run with -xray, then require blxray to reconstruct a placement decision
+# (inputs + candidate table with a chosen core) and to walk a migration's
+# causal chain back to the wake that started it.
+xray-smoke:
+	go build -o /tmp/blsim ./cmd/blsim
+	go build -o /tmp/blxray ./cmd/blxray
+	/tmp/blsim -app bbench -duration 4s -seed 1 -xray /tmp/blxray-smoke.json > /dev/null
+	/tmp/blxray explain -in /tmp/blxray-smoke.json -task bb.js > /tmp/blxray-explain.txt
+	grep -q 'candidates:' /tmp/blxray-explain.txt
+	grep -q 'CHOSEN' /tmp/blxray-explain.txt
+	/tmp/blxray chain -in /tmp/blxray-smoke.json -migration 1 > /tmp/blxray-chain.txt
+	grep -q 'wake' /tmp/blxray-chain.txt
+	@echo "xray-smoke: OK"
 
 # Regenerate every paper table/figure plus the extension studies (~30s).
 report:

@@ -42,6 +42,7 @@ import (
 	"biglittle/internal/trace"
 	"biglittle/internal/uarch"
 	"biglittle/internal/workload"
+	"biglittle/internal/xray"
 )
 
 // Time is a simulated timestamp or duration in nanoseconds.
@@ -253,6 +254,42 @@ const (
 // NewTelemetry creates an enabled telemetry collector with the default
 // event-ring capacity.
 func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
+
+// Xray is the causal decision tracer — a bounded flight recorder of every
+// wake placement, migration, governor frequency step, thermal throttle, and
+// hotplug decision, each with the candidate set considered, the thresholds
+// compared, and per-alternative rejection reasons, causally linked into
+// chains walkable in both directions. Set one as Config.Xray (or
+// SessionConfig.Xray); a nil *Xray disables tracing at the cost of one
+// pointer check per decision. Query dumps with cmd/blxray.
+type Xray = xray.Tracer
+
+// XraySpan is one recorded decision with its provenance.
+type XraySpan = xray.Span
+
+// XrayDump is the queryable snapshot of a tracer (what Xray.JSON emits and
+// cmd/blxray consumes).
+type XrayDump = xray.Dump
+
+// XrayKind classifies decision spans.
+type XrayKind = xray.Kind
+
+// Xray span kinds.
+const (
+	XrayKindWake      = xray.KindWake
+	XrayKindMigration = xray.KindMigration
+	XrayKindFreq      = xray.KindFreq
+	XrayKindHotplug   = xray.KindHotplug
+	XrayKindThrottle  = xray.KindThrottle
+)
+
+// NewXray creates an enabled causal decision tracer with the default
+// flight-recorder capacity.
+func NewXray() *Xray { return xray.New() }
+
+// ParseXrayDump reads a JSON dump written by Xray.JSON or served by blserve
+// at /xray.
+func ParseXrayDump(data []byte) (*XrayDump, error) { return xray.ParseDump(data) }
 
 // Profiler is the streaming per-task attribution profiler. Set one as
 // Config.Profiler (or SessionConfig.Profiler) to attribute run/wait time by

@@ -11,6 +11,11 @@
 //
 // Both subcommands also accept input files as positional arguments.
 //
+// A third subcommand tracks the long-run trend: `blbench history -append`
+// appends per-benchmark medians (with a date and revision label) to a
+// committed JSON-lines file, and `blbench history` renders the recorded
+// trend with per-session deltas. `make bench-record` wires it up.
+//
 // compare exits non-zero when a critical benchmark (-critical, a regexp)
 // regresses by more than -max-regress percent on its median. Allocation
 // counts are gated unconditionally — they are machine-independent. Wall
@@ -36,6 +41,8 @@ func main() {
 		err = bench.RecordMain(os.Args[2:])
 	case "compare":
 		err = bench.CompareMain(os.Args[2:])
+	case "history", "-history":
+		err = bench.HistoryMain(os.Args[2:])
 	default:
 		usage()
 	}
@@ -47,6 +54,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: blbench record [-out file] [input...]
-       blbench compare [-baseline file] [-max-regress pct] [-critical regexp] [-force-time] [input...]`)
+       blbench compare [-baseline file] [-max-regress pct] [-critical regexp] [-force-time] [input...]
+       blbench history [-file file] [-append [-rev r] [-date d] [input...]]`)
 	os.Exit(2)
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"text/tabwriter"
 
@@ -20,12 +21,13 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bllab [-cache-dir DIR] <ls|stat|prune|invalidate> [-app NAME] [-all]")
+	fmt.Fprintln(os.Stderr, "usage: bllab [-cache-dir DIR] [-v] <ls|stat|prune|invalidate> [-app NAME] [-all]")
 	flag.PrintDefaults()
 }
 
 func main() {
 	cacheDir := flag.String("cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/biglittle)")
+	verbose := flag.Bool("v", false, "log each affected cache entry to stderr")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -44,6 +46,27 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bllab:", err)
 		os.Exit(1)
+	}
+	var log *slog.Logger
+	if *verbose {
+		log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+		log.Debug("cache open", "dir", cache.Dir(), "version", cache.Version())
+	}
+	// logAffected lists the entries an operation is about to touch.
+	logAffected := func(op string, match func(lab.Entry) bool) {
+		if log == nil {
+			return
+		}
+		entries, err := cache.List()
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if match(e) {
+				log.Debug(op, "app", e.App, "version", e.Version,
+					"fingerprint", e.Fingerprint, "size_b", e.SizeB)
+			}
+		}
 	}
 
 	switch cmd {
@@ -89,6 +112,7 @@ func main() {
 		fmt.Printf("total size:      %d bytes\n", bytes)
 
 	case "prune":
+		logAffected("pruning", func(e lab.Entry) bool { return e.Version != cache.Version() })
 		n, err := cache.PruneStale()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bllab:", err)
@@ -101,6 +125,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bllab: invalidate needs -app NAME or -all")
 			os.Exit(2)
 		}
+		logAffected("invalidating", func(e lab.Entry) bool {
+			return e.Version == cache.Version() && (*app == "" || e.App == *app)
+		})
 		n, err := cache.Invalidate(*app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bllab:", err)

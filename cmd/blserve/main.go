@@ -11,6 +11,7 @@
 //	curl localhost:8377/metrics        # Prometheus text format
 //	curl localhost:8377/snapshot       # JSON attribution tables
 //	curl localhost:8377/tasks/render   # one task's attribution row
+//	curl -s localhost:8377/xray | blxray ls   # causal decision flight recorder
 //
 // SIGINT stops the simulation, shuts the server down, and prints a final
 // telemetry and attribution summary.
@@ -45,6 +46,7 @@ type server struct {
 	live *biglittle.LiveSession
 	tel  *biglittle.Telemetry
 	prof *biglittle.Profiler
+	xr   *biglittle.Xray
 	done bool
 }
 
@@ -77,16 +79,19 @@ func main() {
 	cfg.Seed = *seed
 	tel := biglittle.NewTelemetry()
 	prof := biglittle.NewProfiler()
+	xr := biglittle.NewXray()
 	cfg.Telemetry = tel
 	cfg.Profiler = prof
+	cfg.Xray = xr
 
-	s := &server{live: biglittle.NewLiveSession(cfg), tel: tel, prof: prof}
+	s := &server{live: biglittle.NewLiveSession(cfg), tel: tel, prof: prof, xr: xr}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/tasks/", s.handleTask)
+	mux.HandleFunc("/xray", s.handleXray)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -198,6 +203,7 @@ endpoints:
   /metrics        Prometheus text format (telemetry registry + per-task profiler)
   /snapshot       JSON attribution tables (run/wait by core type, residency, energy, migrations)
   /tasks/<name>   one task's attribution row
+  /xray           causal decision flight recorder (last spans, JSON; pipe to blxray)
   /debug/pprof/   Go pprof
 `, now, phase)
 }
@@ -233,6 +239,21 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Phase   string                    `json:"phase,omitempty"`
 		Profile biglittle.ProfileSnapshot `json:"profile"`
 	}{now, phase, snap})
+}
+
+// handleXray serves the causal-decision flight recorder: the most recent
+// spans as a JSON dump that pipes straight into blxray, e.g.
+// `curl -s .../xray | blxray explain -task br.layout -t 140ms`.
+func (s *server) handleXray(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	data, err := s.xr.JSON()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (s *server) handleTask(w http.ResponseWriter, r *http.Request) {

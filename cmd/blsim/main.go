@@ -35,6 +35,7 @@ func main() {
 		matrix   = flag.Bool("matrix", false, "print the Table IV active-core matrix")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		doCheck  = flag.Bool("check", false, "audit the run with the invariant checker; exit 2 on any violation")
+		xrayFile = flag.String("xray", "", "record causal decision spans and write the JSON dump to this file (query with blxray)")
 	)
 	flag.Parse()
 
@@ -94,7 +95,26 @@ func main() {
 		cfg.Check = aud
 	}
 
+	var xr *biglittle.Xray
+	if *xrayFile != "" {
+		xr = biglittle.NewXray()
+		cfg.Xray = xr
+	}
+
 	r := biglittle.Run(cfg)
+
+	if xr != nil {
+		data, err := xr.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*xrayFile, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xray: %d spans (%d dropped) -> %s\n", xr.Len(), xr.Dropped(), *xrayFile)
+	}
 
 	if aud != nil {
 		rep := aud.Report()

@@ -1,0 +1,185 @@
+// Command blxray queries a causal decision dump recorded with `blsim -xray`
+// (or fetched from blserve's /xray endpoint): why a task was placed where it
+// was, which candidates lost and why, and the causal chain a decision sits
+// in (wake -> placement -> migration -> DVFS response -> throttle).
+//
+// Usage:
+//
+//	blsim -app bbench -duration 4s -xray /tmp/run.json
+//	blxray ls -in /tmp/run.json [-kind migration]
+//	blxray explain -in /tmp/run.json -task bb.js -t 140ms
+//	blxray chain -in /tmp/run.json -migration 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"biglittle"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  blxray ls      [-in FILE] [-kind wake|migration|freq|hotplug|throttle]
+  blxray explain [-in FILE] -task NAME [-t DURATION]
+  blxray chain   [-in FILE] -migration K | -span ID
+
+-in defaults to stdin, so dumps pipe straight in:
+  curl -s localhost:8080/xray | blxray explain -task bb.js -t 140ms
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "ls":
+		lsMain(os.Args[2:])
+	case "explain":
+		explainMain(os.Args[2:])
+	case "chain":
+		chainMain(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func loadDump(path string) *biglittle.XrayDump {
+	var data []byte
+	var err error
+	if path == "" || path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err == nil && len(data) == 0 {
+		err = fmt.Errorf("empty dump (pass -in FILE or pipe a dump to stdin)")
+	}
+	var d *biglittle.XrayDump
+	if err == nil {
+		d, err = biglittle.ParseXrayDump(data)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blxray:", err)
+		os.Exit(1)
+	}
+	return d
+}
+
+// parseAt accepts a Go duration ("140ms", "1.5s") or a bare number of
+// milliseconds.
+func parseAt(s string) (biglittle.Time, error) {
+	if ms, err := strconv.ParseFloat(s, 64); err == nil {
+		return biglittle.Time(ms * float64(biglittle.Millisecond)), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: want a duration like 140ms or a number of ms", s)
+	}
+	return biglittle.Time(d.Nanoseconds()), nil
+}
+
+func lsMain(args []string) {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	in := fs.String("in", "", "dump file (default stdin)")
+	kind := fs.String("kind", "", "only spans of this kind (wake|migration|freq|hotplug|throttle)")
+	fs.Parse(args)
+	d := loadDump(*in)
+	n := 0
+	for _, s := range d.Spans {
+		if *kind != "" && s.Kind.String() != *kind {
+			continue
+		}
+		fmt.Println(s.Line())
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "%d spans", n)
+	if d.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, " (%d older spans dropped from the flight recorder)", d.Dropped)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// printChain renders a span with its full causal context: the ancestors that
+// led to it and the decisions it went on to cause.
+func printChain(d *biglittle.XrayDump, s biglittle.XraySpan) {
+	fmt.Print(s.Format())
+	if anc := d.Ancestors(s.ID); len(anc) > 0 {
+		fmt.Println("caused by:")
+		for _, a := range anc {
+			fmt.Println(" ", a.Line())
+		}
+	} else if s.Parent >= 0 {
+		fmt.Printf("caused by: span %d (no longer retained)\n", s.Parent)
+	}
+	if desc := d.Descendants(s.ID); len(desc) > 0 {
+		fmt.Println("leads to:")
+		for _, c := range desc {
+			fmt.Println(" ", c.Line())
+		}
+	}
+}
+
+func explainMain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "", "dump file (default stdin)")
+	task := fs.String("task", "", "task name, e.g. bb.js (required)")
+	at := fs.String("t", "", "time of interest, e.g. 140ms (default: the task's last decision)")
+	fs.Parse(args)
+	if *task == "" {
+		fmt.Fprintln(os.Stderr, "blxray explain: -task is required")
+		os.Exit(2)
+	}
+	when := biglittle.Time(1 << 62) // default: latest span for the task
+	if *at != "" {
+		t, err := parseAt(*at)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blxray explain:", err)
+			os.Exit(2)
+		}
+		when = t
+	}
+	d := loadDump(*in)
+	s, ok := d.TaskSpanNear(*task, when)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "blxray explain: no placement spans for task %q in this dump\n", *task)
+		os.Exit(1)
+	}
+	printChain(d, s)
+}
+
+func chainMain(args []string) {
+	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	in := fs.String("in", "", "dump file (default stdin)")
+	mig := fs.Int("migration", -1, "walk the chain of the k-th migration span (1-based)")
+	span := fs.Int64("span", -1, "walk the chain of the span with this ID")
+	fs.Parse(args)
+	d := loadDump(*in)
+	var s biglittle.XraySpan
+	switch {
+	case *span >= 0:
+		got, ok := d.Get(*span)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "blxray chain: span %d not in this dump\n", *span)
+			os.Exit(1)
+		}
+		s = got
+	case *mig >= 1:
+		migs := d.ByKind(biglittle.XrayKindMigration)
+		if *mig > len(migs) {
+			fmt.Fprintf(os.Stderr, "blxray chain: dump has %d migration spans, asked for #%d\n", len(migs), *mig)
+			os.Exit(1)
+		}
+		s = migs[*mig-1]
+	default:
+		fmt.Fprintln(os.Stderr, "blxray chain: pass -migration K or -span ID")
+		os.Exit(2)
+	}
+	printChain(d, s)
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// HistoryEntry is one record in the benchmark history file (JSON lines,
+// append-only, committed to the repo): the per-benchmark medians of one
+// measurement session, labeled with when and at which revision it ran. The
+// baseline/compare gate answers "did this change regress?"; the history
+// answers "how has this benchmark trended across the project's life?".
+type HistoryEntry struct {
+	Date        string  `json:"date"`          // YYYY-MM-DD
+	Rev         string  `json:"rev,omitempty"` // e.g. git short hash
+	CPU         string  `json:"cpu,omitempty"`
+	Benchmark   string  `json:"benchmark"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// AppendHistory appends entries to the JSONL history file, creating it if
+// missing. Each entry is one line; the file stays greppable and diffable.
+func AppendHistory(path string, entries []HistoryEntry) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := json.Marshal(e)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(append(data, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadHistory reads every entry from a JSONL history file, in file order.
+func LoadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// HistoryFromSet turns a parsed benchmark run into history entries: one per
+// benchmark, carrying the ns/op and allocs/op medians.
+func HistoryFromSet(set *Set, date, rev string) []HistoryEntry {
+	medians := set.Medians()
+	names := make([]string, 0, len(medians))
+	for name := range medians {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]HistoryEntry, 0, len(names))
+	for _, name := range names {
+		entries = append(entries, HistoryEntry{
+			Date:        date,
+			Rev:         rev,
+			CPU:         set.CPU,
+			Benchmark:   name,
+			NsPerOp:     medians[name]["ns/op"],
+			AllocsPerOp: medians[name]["allocs/op"],
+		})
+	}
+	return entries
+}
+
+// RenderHistory prints the per-benchmark trend: every recorded session in
+// file (chronological) order with the percent change from the previous one.
+// Time deltas across different CPU models are still printed — the history is
+// a trend report, not a gate — but flagged with the CPU change.
+func RenderHistory(w io.Writer, entries []HistoryEntry) {
+	byBench := map[string][]HistoryEntry{}
+	var order []string
+	for _, e := range entries {
+		if _, seen := byBench[e.Benchmark]; !seen {
+			order = append(order, e.Benchmark)
+		}
+		byBench[e.Benchmark] = append(byBench[e.Benchmark], e)
+	}
+	sort.Strings(order)
+	for bi, name := range order {
+		if bi > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, name)
+		fmt.Fprintf(w, "  %-10s %-10s %12s %9s %12s %9s\n",
+			"date", "rev", "ns/op", "Δ", "allocs/op", "Δ")
+		var prev *HistoryEntry
+		for i := range byBench[name] {
+			e := byBench[name][i]
+			dt, da := "", ""
+			if prev != nil {
+				dt = pctDelta(prev.NsPerOp, e.NsPerOp)
+				if prev.CPU != e.CPU {
+					dt += "*" // measured on a different CPU model
+				}
+				da = pctDelta(prev.AllocsPerOp, e.AllocsPerOp)
+			}
+			rev := e.Rev
+			if rev == "" {
+				rev = "-"
+			}
+			fmt.Fprintf(w, "  %-10s %-10s %12s %9s %12g %9s\n",
+				e.Date, rev, formatValue(e.NsPerOp, "ns/op"), dt, e.AllocsPerOp, da)
+			prev = &byBench[name][i]
+		}
+	}
+}
+
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+// HistoryMain implements `blbench history`: with -append it parses
+// benchmark output and appends one entry per benchmark to the history file;
+// without it, it renders the recorded trend.
+func HistoryMain(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	file := fs.String("file", "BENCH_history.jsonl", "history file (JSON lines)")
+	doAppend := fs.Bool("append", false, "parse `go test -bench` output and append one entry per benchmark")
+	rev := fs.String("rev", "", "revision label for appended entries (e.g. git short hash)")
+	date := fs.String("date", "", "date label for appended entries (YYYY-MM-DD; default today)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if !*doAppend {
+		entries, err := LoadHistory(*file)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("%s: no history entries", *file)
+		}
+		RenderHistory(os.Stdout, entries)
+		return nil
+	}
+
+	set, err := parseInputs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(set.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	day := *date
+	if day == "" {
+		day = time.Now().Format("2006-01-02")
+	}
+	entries := HistoryFromSet(set, day, *rev)
+	if err := AppendHistory(*file, entries); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("appended %s: %s ns/op, %g allocs/op\n",
+			e.Benchmark, formatValue(e.NsPerOp, "ns/op"), e.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", *file, len(entries))
+	return nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const runA = `goos: linux
+goarch: amd64
+cpu: Model A
+BenchmarkSingleRun-8   	     100	  10000000 ns/op	     500 B/op	     100 allocs/op
+BenchmarkSingleRun-8   	     100	  12000000 ns/op	     500 B/op	     100 allocs/op
+BenchmarkSingleRun-8   	     100	  11000000 ns/op	     500 B/op	     100 allocs/op
+BenchmarkFig2Speedup-8 	      50	  20000000 ns/op	     900 B/op	     200 allocs/op
+`
+
+const runB = `goos: linux
+goarch: amd64
+cpu: Model A
+BenchmarkSingleRun-8   	     100	   9000000 ns/op	     500 B/op	      90 allocs/op
+BenchmarkFig2Speedup-8 	      50	  22000000 ns/op	     900 B/op	     200 allocs/op
+`
+
+func parseRun(t *testing.T, raw string) *Set {
+	t.Helper()
+	set, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestHistoryAppendLoadRender(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+
+	a := HistoryFromSet(parseRun(t, runA), "2026-08-01", "aaaaaaa")
+	if len(a) != 2 {
+		t.Fatalf("entries from run A = %d, want 2", len(a))
+	}
+	// The median of {10, 12, 11} ms is 11 ms.
+	for _, e := range a {
+		if e.Benchmark == "BenchmarkSingleRun" {
+			if e.NsPerOp != 11e6 || e.AllocsPerOp != 100 {
+				t.Fatalf("SingleRun entry = %+v, want median 11e6 ns/op, 100 allocs/op", e)
+			}
+			if e.CPU != "Model A" || e.Date != "2026-08-01" || e.Rev != "aaaaaaa" {
+				t.Fatalf("entry labels wrong: %+v", e)
+			}
+		}
+	}
+	if err := AppendHistory(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, HistoryFromSet(parseRun(t, runB), "2026-08-07", "bbbbbbb")); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("loaded %d entries, want 4", len(entries))
+	}
+	if entries[0].Date != "2026-08-01" || entries[3].Date != "2026-08-07" {
+		t.Fatalf("entries out of order: %+v", entries)
+	}
+
+	var out strings.Builder
+	RenderHistory(&out, entries)
+	got := out.String()
+	// 9 ms vs the 11 ms median is -18.2%; allocs 90 vs 100 is -10%.
+	for _, want := range []string{
+		"BenchmarkSingleRun", "BenchmarkFig2Speedup",
+		"2026-08-01", "2026-08-07", "aaaaaaa", "bbbbbbb",
+		"-18.2%", "-10.0%", "+10.0%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trend output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestHistoryCPUChangeFlagged(t *testing.T) {
+	otherCPU := strings.Replace(runB, "cpu: Model A", "cpu: Model B", 1)
+	entries := append(
+		HistoryFromSet(parseRun(t, runA), "2026-08-01", "a"),
+		HistoryFromSet(parseRun(t, otherCPU), "2026-08-07", "b")...)
+	var out strings.Builder
+	RenderHistory(&out, entries)
+	if !strings.Contains(out.String(), "%*") {
+		t.Errorf("time delta across CPU models not flagged:\n%s", out.String())
+	}
+}
+
+func TestLoadHistoryMissing(t *testing.T) {
+	if _, err := LoadHistory(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("want error for missing history file")
+	}
+}

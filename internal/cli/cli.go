@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -26,6 +28,7 @@ type Experiment struct {
 	CacheDir string
 	NoCache  bool
 	Check    bool
+	Verbose  bool
 }
 
 // RegisterExperiment installs the shared experiment flags on fs and returns
@@ -38,13 +41,25 @@ func RegisterExperiment(fs *flag.FlagSet, defaultDuration time.Duration) *Experi
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/biglittle)")
 	fs.BoolVar(&e.NoCache, "no-cache", false, "disable the on-disk result cache")
 	fs.BoolVar(&e.Check, "check", false, "audit every run with the invariant checker; cache hits are re-simulated and compared")
+	fs.BoolVar(&e.Verbose, "v", false, "log sweep progress to stderr: per-job transitions, completed/total, jobs/sec, ETA")
 	return e
 }
 
+// Logger returns the structured progress logger -v selects: a Debug-level
+// text logger on stderr when verbose, nil (silent) otherwise. Stderr keeps
+// report stdout byte-identical with or without -v.
+func (e *Experiment) Logger() *slog.Logger {
+	if !e.Verbose {
+		return nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
 // Runner builds the experiment orchestrator the flags describe: the worker
-// pool plus (unless -no-cache) the content-addressed result cache.
+// pool plus (unless -no-cache) the content-addressed result cache, with
+// progress logging attached when -v is set.
 func (e *Experiment) Runner() (*lab.Runner, error) {
-	r := &lab.Runner{Workers: e.Workers, Check: e.Check}
+	r := &lab.Runner{Workers: e.Workers, Check: e.Check, Log: e.Logger()}
 	if !e.NoCache {
 		c, err := lab.Open(e.CacheDir)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"biglittle/internal/telemetry"
 	"biglittle/internal/thermal"
 	"biglittle/internal/workload"
+	"biglittle/internal/xray"
 )
 
 // SchedulerKind selects the thread-to-core mapping policy (§IV-A).
@@ -139,6 +140,16 @@ type Config struct {
 	// ran in it, and migration accounting. Result.Profile carries the final
 	// snapshot. Nil (the default) disables attribution at near-zero cost.
 	Profiler *profile.Profiler
+
+	// Xray, when non-nil, is the causal decision tracer for the run: the
+	// scheduler records every wake placement and migration with its full
+	// candidate set and rejection reasons, the governor every frequency step
+	// with the per-core demands, the thermal model every cap step, and
+	// hotplug transitions — all causally linked into walkable chains (see
+	// internal/xray). Like Telemetry and Profiler, it is a pure observer: a
+	// traced run produces byte-identical results, and nil (the default)
+	// disables tracing at one pointer check per decision.
+	Xray *xray.Tracer
 
 	// OnSystem, if set, is called with the assembled scheduler system right
 	// before the workload is built — an extension point for attaching trace
@@ -293,6 +304,7 @@ func Run(cfg Config) Result {
 	sys := sched.New(eng, soc, cfg.Sched)
 	sys.Tel = cfg.Telemetry
 	sys.Prof = cfg.Profiler
+	sys.Xray = cfg.Xray
 	pw := cfg.Power
 	sys.EnergyModel = func(typ platform.CoreType, mhz int) float64 {
 		return pw.CorePowerMW(typ, mhz, 1) - pw.CorePowerMW(typ, mhz, 0)
@@ -318,18 +330,22 @@ func Run(cfg Config) Result {
 	case Ondemand:
 		g := governor.NewOndemand(sys, cfg.Gov.SampleMs, 80)
 		g.Tel = cfg.Telemetry
+		g.Xray = cfg.Xray
 		g.Start()
 	case Conservative:
 		g := governor.NewConservative(sys, cfg.Gov.SampleMs, 80, 35)
 		g.Tel = cfg.Telemetry
+		g.Xray = cfg.Xray
 		g.Start()
 	case PAST:
 		g := governor.NewPAST(sys, cfg.Gov.SampleMs)
 		g.Tel = cfg.Telemetry
+		g.Xray = cfg.Xray
 		g.Start()
 	default:
 		g := governor.NewInteractive(sys, cfg.Gov)
 		g.Tel = cfg.Telemetry
+		g.Xray = cfg.Xray
 		g.Start()
 	}
 
@@ -348,6 +364,7 @@ func Run(cfg Config) Result {
 	if cfg.Thermal != nil {
 		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
 		therm.Tel = cfg.Telemetry
+		therm.Xray = cfg.Xray
 		therm.Start()
 	}
 

@@ -1,10 +1,13 @@
 package governor
 
 import (
+	"fmt"
+
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/xray"
 )
 
 // loadSampler is the shared skeleton of the load-tracking governors: every
@@ -15,6 +18,12 @@ type loadSampler struct {
 	// change decision; Reason carries the governor's name and Value the
 	// triggering utilization (percent).
 	Tel *telemetry.Collector
+	// Xray, when non-nil, receives a decision span for every frequency
+	// change with the per-core utilizations and targets as candidates; the
+	// reason is the governor's name. See Interactive.Xray.
+	Xray *xray.Tracer
+	// xrayCands is the scratch candidate buffer, reused across samples.
+	xrayCands []xray.Candidate
 
 	sys      *sched.System
 	name     string
@@ -52,8 +61,16 @@ func (g *loadSampler) onSample(now event.Time) {
 		cur := cl.CurMHz
 		best := 0
 		maxUtil := 0.0
+		if g.Xray != nil {
+			g.xrayCands = g.xrayCands[:0]
+		}
 		for _, id := range cl.CoreIDs {
 			if !g.sys.SoC.Cores[id].Online {
+				if g.Xray != nil {
+					g.xrayCands = append(g.xrayCands, xray.Candidate{
+						Core: id, Type: g.sys.SoC.Cores[id].Type.String(), Rejected: "offline",
+					})
+				}
 				continue
 			}
 			busy := g.sys.BusyNs(id)
@@ -62,8 +79,15 @@ func (g *loadSampler) onSample(now event.Time) {
 			if util > maxUtil {
 				maxUtil = util
 			}
-			if t := g.target(cl, cur, util); t > best {
+			t := g.target(cl, cur, util)
+			if t > best {
 				best = t
+			}
+			if g.Xray != nil {
+				g.xrayCands = append(g.xrayCands, xray.Candidate{
+					Core: id, Type: g.sys.SoC.Cores[id].Type.String(),
+					QueueLen: g.sys.QueueLen(id), Load: 100 * util, TargetMHz: t,
+				})
 			}
 		}
 		if best == 0 {
@@ -71,13 +95,21 @@ func (g *loadSampler) onSample(now event.Time) {
 		}
 		if best != cur {
 			got := g.sys.SetClusterFreq(ci, best)
-			if g.Tel != nil && got != cur {
-				g.Tel.Emit(telemetry.Event{
-					At: now, Kind: telemetry.KindGovernor,
-					Task: -1, Core: -1, FromCore: -1, Cluster: ci,
-					PrevMHz: cur, MHz: got,
-					Reason: g.name, Value: 100 * maxUtil,
-				})
+			if got != cur {
+				if g.Tel != nil {
+					g.Tel.Emit(telemetry.Event{
+						At: now, Kind: telemetry.KindGovernor,
+						Task: -1, Core: -1, FromCore: -1, Cluster: ci,
+						PrevMHz: cur, MHz: got,
+						Reason: g.name, Value: 100 * maxUtil,
+					})
+				}
+				if g.Xray != nil {
+					g.Xray.FreqStep(now, ci, cur, got,
+						fmt.Sprintf("cluster%d %d -> %d MHz", ci, cur, got), g.name,
+						[]xray.Input{{Name: "max_util_pct", Value: 100 * maxUtil}},
+						markGovernorChoice(g.xrayCands, best))
+				}
 			}
 		}
 	}

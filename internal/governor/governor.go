@@ -10,10 +10,13 @@
 package governor
 
 import (
+	"fmt"
+
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/xray"
 )
 
 // InteractiveConfig holds the tunables the paper sweeps in §VI-C.
@@ -70,6 +73,14 @@ type Interactive struct {
 	// change decision, carrying the triggering utilization (Value, percent)
 	// and the reason (hispeed jump, scale-up, scale-down).
 	Tel *telemetry.Collector
+	// Xray, when non-nil, receives a decision span for every frequency
+	// change: each online core's utilization and per-core target (the
+	// candidates; the cluster takes the max), the thresholds compared, and
+	// the reason. Nil disables tracing at one pointer check per sample.
+	Xray *xray.Tracer
+	// xrayCands is the scratch candidate buffer, reused across samples so
+	// tracing only allocates when a span is actually recorded.
+	xrayCands []xray.Candidate
 }
 
 // NewInteractive attaches an interactive governor to sys. Call Start to
@@ -125,8 +136,16 @@ func (g *Interactive) onSample(now event.Time) {
 		cur := cl.CurMHz
 		target := 0
 		maxUtil := 0.0
+		if g.Xray != nil {
+			g.xrayCands = g.xrayCands[:0]
+		}
 		for _, id := range cl.CoreIDs {
 			if !g.sys.SoC.Cores[id].Online {
+				if g.Xray != nil {
+					g.xrayCands = append(g.xrayCands, xray.Candidate{
+						Core: id, Type: g.sys.SoC.Cores[id].Type.String(), Rejected: "offline",
+					})
+				}
 				continue
 			}
 			busy := g.sys.BusyNs(id)
@@ -138,6 +157,12 @@ func (g *Interactive) onSample(now event.Time) {
 			t := g.coreTarget(cl, cur, util)
 			if t > target {
 				target = t
+			}
+			if g.Xray != nil {
+				g.xrayCands = append(g.xrayCands, xray.Candidate{
+					Core: id, Type: g.sys.SoC.Cores[id].Type.String(),
+					QueueLen: g.sys.QueueLen(id), Load: 100 * util, TargetMHz: t,
+				})
 			}
 		}
 		if target == 0 {
@@ -169,7 +194,7 @@ func (g *Interactive) onSample(now event.Time) {
 			if newMHz > cur {
 				g.lastRaise[ci] = now
 			}
-			if g.Tel != nil && newMHz != cur {
+			if newMHz != cur {
 				reason := telemetry.ReasonScaleDown
 				if newMHz > cur {
 					if cur < g.hispeed(cl.Type) && newMHz >= g.hispeed(cl.Type) {
@@ -178,12 +203,25 @@ func (g *Interactive) onSample(now event.Time) {
 						reason = telemetry.ReasonScaleUp
 					}
 				}
-				g.Tel.Emit(telemetry.Event{
-					At: now, Kind: telemetry.KindGovernor,
-					Task: -1, Core: -1, FromCore: -1, Cluster: ci,
-					PrevMHz: cur, MHz: newMHz,
-					Reason: reason, Value: 100 * maxUtil,
-				})
+				if g.Tel != nil {
+					g.Tel.Emit(telemetry.Event{
+						At: now, Kind: telemetry.KindGovernor,
+						Task: -1, Core: -1, FromCore: -1, Cluster: ci,
+						PrevMHz: cur, MHz: newMHz,
+						Reason: reason, Value: 100 * maxUtil,
+					})
+				}
+				if g.Xray != nil {
+					g.Xray.FreqStep(now, ci, cur, newMHz,
+						fmt.Sprintf("cluster%d %d -> %d MHz", ci, cur, newMHz), reason,
+						[]xray.Input{
+							{Name: "max_util_pct", Value: 100 * maxUtil},
+							{Name: "target_load", Value: float64(g.Cfg.TargetLoad)},
+							{Name: "down_threshold", Value: float64(g.Cfg.DownThreshold)},
+							{Name: "hispeed_mhz", Value: float64(g.hispeed(cl.Type))},
+						},
+						markGovernorChoice(g.xrayCands, target))
+				}
 			}
 		}
 		if g.FreqLog != nil {
@@ -191,6 +229,37 @@ func (g *Interactive) onSample(now event.Time) {
 		}
 	}
 	g.sys.Eng.After(g.sample, g.sampleFn)
+}
+
+// markGovernorChoice copies the scratch candidate buffer into a fresh slice
+// for a span, marking the first core whose per-core target equals the
+// cluster's winning target as chosen and rejecting the rest: the cluster
+// shares one clock, so every lower per-core demand is overridden by the max.
+func markGovernorChoice(scratch []xray.Candidate, target int) []xray.Candidate {
+	out := make([]xray.Candidate, len(scratch))
+	copy(out, scratch)
+	// Prefer the core whose target exactly equals the programmed frequency;
+	// when the hold/clamp logic overrode the raw max, fall back to the
+	// highest per-core demand as the driving core.
+	chosen := -1
+	for i := range out {
+		if out[i].Rejected != "" {
+			continue
+		}
+		if out[i].TargetMHz == target {
+			chosen = i
+			break
+		}
+		if chosen < 0 || out[i].TargetMHz > out[chosen].TargetMHz {
+			chosen = i
+		}
+	}
+	for i := range out {
+		if i != chosen && out[i].Rejected == "" {
+			out[i].Rejected = "lower-target"
+		}
+	}
+	return out
 }
 
 // coreTarget applies Algorithm 2 for one core.

@@ -44,8 +44,8 @@ type print struct {
 // replay on a hit:
 //
 //   - OnSystem may mutate the assembled system arbitrarily;
-//   - Telemetry and Profiler side effects (events, attribution) would be
-//     silently skipped if the result came from disk;
+//   - Telemetry, Profiler, and Xray side effects (events, attribution,
+//     decision spans) would be silently skipped if the result came from disk;
 //   - a caller-supplied Check auditor must observe a live run to report
 //     anything;
 //   - a Platform constructor returning an unnamed SoC has no stable identity.
@@ -55,7 +55,7 @@ type print struct {
 // it does not affect cacheability.)
 func Fingerprint(job Job) (string, bool) {
 	cfg := job.Config.Normalized()
-	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil || cfg.Check != nil {
+	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil || cfg.Xray != nil || cfg.Check != nil {
 		return "", false
 	}
 	p := print{

@@ -10,9 +10,10 @@
 //     which worker finished first, and the simulator itself is a
 //     single-threaded deterministic event engine — so report output is
 //     byte-identical for 1 worker or N, cold cache or warm.
-//   - Isolation: each job runs a fresh, isolated engine. Observers that are
-//     not goroutine-safe (telemetry.Collector, trace.Recorder) must be
-//     per-job; the Prepare hook exists so each job can construct its own.
+//   - Isolation: each job runs a fresh, isolated engine. Observers whose
+//     event streams are not goroutine-safe (telemetry.Collector's event
+//     bus, trace.Recorder) must be per-job; the Prepare hook exists so each
+//     job can construct its own.
 //   - Robustness: a panicking job is recovered and retried a bounded number
 //     of times; a hung job can be abandoned on a per-job timeout; a corrupt
 //     cache blob falls back to re-simulation.
@@ -22,8 +23,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"biglittle/internal/check"
@@ -73,12 +77,22 @@ type Runner struct {
 	Workers int
 	// Cache, when non-nil, memoizes results by content fingerprint.
 	Cache *Cache
-	// Tel, when non-nil, receives progress and cache hit/miss counters
-	// ("lab_jobs", "lab_cache_hits", "lab_cache_misses", "lab_simulations",
-	// "lab_retries", "lab_failures"). The collector is not goroutine-safe,
-	// so the runner serializes all its own emissions behind one mutex; do
-	// not share this collector with concurrently running jobs.
+	// Tel, when non-nil, receives progress and cache hit/miss counters —
+	// one per Stats field: "lab_jobs", "lab_cache_hits", "lab_cache_misses",
+	// "lab_simulations", "lab_stored", "lab_retries", "lab_failures",
+	// "lab_audited", "lab_audit_failures". The runner updates them under its
+	// own mutex so Stats and the mirrored counters stay in lockstep; the
+	// registry itself is goroutine-safe, so exporting this collector (e.g.
+	// WritePrometheus) while a sweep runs is fine. Do not share it with
+	// concurrently running jobs' event emission — the event bus is still
+	// single-threaded.
 	Tel *telemetry.Collector
+	// Log, when non-nil, receives structured sweep observability: per-job
+	// state transitions (cache hit/miss, simulated, stored, retry, failure,
+	// audit) at Debug, and sweep-level progress — completed/total, jobs/sec,
+	// ETA — at Info. Nil stays silent; the logger must be goroutine-safe
+	// (slog's built-in handlers are).
+	Log *slog.Logger
 	// Timeout abandons a single simulation after this much wall-clock time
 	// (0: none). The abandoned goroutine cannot be killed — it drains in the
 	// background and its result is discarded — so treat a timeout as a bug
@@ -161,15 +175,93 @@ func (r *Runner) count(fn func(*Stats), counters ...string) {
 func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
 	results := make([]core.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	prog := r.newProgress(len(jobs))
 	r.ForEach(len(jobs), func(i int) {
 		results[i], errs[i] = r.runOne(jobs[i])
+		prog.step()
 	})
+	prog.finish()
 	for _, err := range errs {
 		if err != nil {
 			return results, err
 		}
 	}
 	return results, nil
+}
+
+// progress tracks sweep completion for the structured log. A nil *progress
+// (no logger attached) is valid and does nothing.
+type progress struct {
+	r         *Runner
+	total     int
+	every     int64 // log an Info line every this many completions
+	start     time.Time
+	completed atomic.Int64
+}
+
+func (r *Runner) newProgress(total int) *progress {
+	if r.Log == nil || total <= 0 {
+		return nil
+	}
+	every := int64(total / 10)
+	if every < 1 {
+		every = 1
+	}
+	r.Log.Info("sweep start", "jobs", total, "workers", r.workers(total))
+	return &progress{r: r, total: total, every: every, start: time.Now()}
+}
+
+// step records one finished job and, every `every` completions, logs
+// completed/total, throughput, and the ETA extrapolated from the rate so
+// far. Called from worker goroutines.
+func (p *progress) step() {
+	if p == nil {
+		return
+	}
+	n := p.completed.Add(1)
+	if n%p.every != 0 && int(n) != p.total {
+		return
+	}
+	elapsed := time.Since(p.start)
+	rate := float64(n) / elapsed.Seconds()
+	eta := time.Duration(0)
+	if rate > 0 {
+		eta = time.Duration(float64(p.total-int(n)) / rate * float64(time.Second))
+	}
+	p.r.Log.Info("sweep progress",
+		"completed", n,
+		"total", p.total,
+		"jobs_per_sec", math.Round(rate*10)/10,
+		"eta", eta.Round(10*time.Millisecond).String(),
+	)
+}
+
+// finish logs the sweep summary with the runner's cumulative tallies.
+func (p *progress) finish() {
+	if p == nil {
+		return
+	}
+	s := p.r.Stats()
+	p.r.Log.Info("sweep complete",
+		"jobs", p.completed.Load(),
+		"elapsed", time.Since(p.start).Round(time.Millisecond).String(),
+		"hits", s.Hits,
+		"misses", s.Misses,
+		"simulated", s.Simulated,
+		"stored", s.Stored,
+		"retries", s.Retries,
+		"failures", s.Failures,
+		"audited", s.Audited,
+		"audit_failures", s.AuditFailures,
+	)
+}
+
+// logJob emits one per-job Debug transition when a logger is attached.
+func (r *Runner) logJob(msg, app string, args ...any) {
+	if r.Log == nil {
+		return
+	}
+	r.Log.Debug(msg, append([]any{"app", app}, args...)...)
 }
 
 // RunConfigs is RunAll over bare configs.
@@ -253,20 +345,25 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 			if r.Check {
 				if aerr := r.auditCached(cfg, res); aerr != nil {
 					r.count(func(s *Stats) { s.AuditFailures++ }, "lab_audit_failures")
+					r.logJob("audit failure", cfg.App.Name, "err", aerr)
 					return core.Result{}, aerr
 				}
 				r.count(func(s *Stats) { s.Audited++ }, "lab_audited")
+				r.logJob("audited", cfg.App.Name, "source", "cache")
 			}
 			r.count(func(s *Stats) { s.Hits++ }, "lab_cache_hits")
+			r.logJob("cache hit", cfg.App.Name, "fingerprint", fp)
 			return res, nil
 		}
 		r.count(func(s *Stats) { s.Misses++ }, "lab_cache_misses")
+		r.logJob("cache miss", cfg.App.Name, "fingerprint", fp)
 	}
 
 	var err error
 	for attempt := 0; attempt <= r.retries(); attempt++ {
 		if attempt > 0 {
 			r.count(func(s *Stats) { s.Retries++ }, "lab_retries")
+			r.logJob("retry", cfg.App.Name, "attempt", attempt, "err", err)
 		}
 		// A fresh auditor per attempt: one auditor instance observes one run.
 		acfg := cfg
@@ -284,19 +381,24 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 			if aerr := aud.Err(); aerr != nil {
 				// Violations are deterministic, so retrying cannot help.
 				r.count(func(s *Stats) { s.AuditFailures++ }, "lab_audit_failures")
+				r.logJob("audit failure", cfg.App.Name, "err", aerr)
 				return core.Result{}, fmt.Errorf("lab: job %q failed audit: %w", cfg.App.Name, aerr)
 			}
 			r.count(func(s *Stats) { s.Audited++ }, "lab_audited")
+			r.logJob("audited", cfg.App.Name, "source", "fresh")
 		}
 		r.count(func(s *Stats) { s.Simulated++ }, "lab_simulations")
+		r.logJob("simulated", cfg.App.Name, "attempt", attempt+1)
 		if cacheable {
 			if perr := r.Cache.Put(fp, cfg.App.Name, job.Salt, res); perr == nil {
-				r.count(func(s *Stats) { s.Stored++ })
+				r.count(func(s *Stats) { s.Stored++ }, "lab_stored")
+				r.logJob("stored", cfg.App.Name, "fingerprint", fp)
 			}
 		}
 		return res, nil
 	}
 	r.count(func(s *Stats) { s.Failures++ }, "lab_failures")
+	r.logJob("job failed", cfg.App.Name, "err", err)
 	return core.Result{}, err
 }
 

@@ -19,6 +19,7 @@ import (
 	"biglittle/internal/platform"
 	"biglittle/internal/profile"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/xray"
 )
 
 // Config holds the HMP scheduler tunables swept in §VI-C.
@@ -198,6 +199,13 @@ type System struct {
 	// every wake, and every migration. Nil disables attribution at the cost
 	// of one pointer check per emit site.
 	Prof *profile.Profiler
+
+	// Xray, when non-nil, receives a decision span for every wake placement,
+	// migration, and hotplug transition: the candidate cores considered, the
+	// thresholds compared, and the rejection reason per alternative, causally
+	// linked into chains. Nil disables causal tracing at the cost of one
+	// pointer check per decision (see internal/sched/xray.go).
+	Xray *xray.Tracer
 
 	// TickHook, if set, runs at the end of every scheduler tick (used by
 	// metrics and tests to observe a consistent state).
@@ -448,6 +456,7 @@ func (s *System) Push(t *Task, cycles float64) {
 		s.Prof.OnWake(t.ID, t.Name, now)
 	}
 	c := s.wakeCPU(t)
+	prevCPU := t.lastCPU // placement input, captured before it is overwritten
 	t.cpu = c.id
 	t.lastCPU = c.id
 	s.sync(c, now)
@@ -464,6 +473,13 @@ func (s *System) Push(t *Task, cycles float64) {
 			Reason: reason, Value: float64(t.Load()),
 		})
 	}
+	if s.Xray != nil {
+		reason := ""
+		if deepWake {
+			reason = telemetry.ReasonDeepIdle
+		}
+		s.xrayWake(t, c, prevCPU, now, reason)
+	}
 	if deepWake {
 		// The core was in deep idle: the task pays the exit latency before
 		// it can be enqueued (cpuidle wake-up cost).
@@ -479,8 +495,12 @@ func (s *System) Push(t *Task, cycles float64) {
 					t.pinned = -1
 				}
 				dst = s.wakeCPU(t)
+				prevCPU := t.lastCPU
 				t.cpu = dst.id
 				t.lastCPU = dst.id
+				if s.Xray != nil {
+					s.xrayWake(t, dst, prevCPU, at, telemetry.ReasonHotplug)
+				}
 			}
 			s.sync(dst, at)
 			t.state = Runnable
@@ -683,6 +703,9 @@ func (s *System) migrate(t *Task, dst *cpu, now event.Time, reason string) {
 			Reason: reason, Value: float64(t.Load()),
 		})
 	}
+	if s.Xray != nil {
+		s.xrayMigrate(t, src, dst, now, reason)
+	}
 	s.dispatch(src, now)
 	s.dispatch(dst, now)
 }
@@ -824,6 +847,9 @@ func (s *System) SetCoreOnline(id int, online bool) error {
 				Reason: telemetry.ReasonOnline,
 			})
 		}
+		if s.Xray != nil {
+			s.xrayHotplug(id, true, 0, now, telemetry.ReasonOnline)
+		}
 		return nil
 	}
 	if err := s.SoC.SetOnline(id, false); err != nil {
@@ -835,6 +861,9 @@ func (s *System) SetCoreOnline(id int, online bool) error {
 			Task: -1, Core: id, FromCore: -1, Cluster: s.SoC.Cores[id].Cluster,
 			Reason: telemetry.ReasonOffline,
 		})
+	}
+	if s.Xray != nil {
+		s.xrayHotplug(id, false, len(c.queue), now, telemetry.ReasonOffline)
 	}
 	// Evict the queue: prefer a same-type online core, else any online core.
 	for len(c.queue) > 0 {

@@ -24,6 +24,7 @@ import (
 	"biglittle/internal/telemetry"
 	"biglittle/internal/thermal"
 	"biglittle/internal/workload"
+	"biglittle/internal/xray"
 )
 
 // Phase is one segment of a session.
@@ -55,6 +56,11 @@ type Config struct {
 	// Thermal, when non-nil, attaches the exponential thermal model and
 	// its throttling governor cap; MaxTempC/ThrottledPct land on Result.
 	Thermal *thermal.Params
+	// Xray, when non-nil, records causal decision spans (wake placements,
+	// migrations, frequency steps, throttle caps, hotplug) across the whole
+	// session — the flight recorder cmd/blserve serves at /xray. Nil
+	// disables tracing at one pointer check per decision.
+	Xray *xray.Tracer
 	// Check, when non-nil, attaches an invariant auditor (see internal/check)
 	// that observes the whole session and reconciles its totals at the end.
 	Check Checker
@@ -173,9 +179,11 @@ func NewLive(cfg Config) *Live {
 	sys := sched.New(eng, soc, cfg.Sched)
 	sys.Tel = cfg.Telemetry
 	sys.Prof = cfg.Profiler
+	sys.Xray = cfg.Xray
 	sys.Start()
 	g := governor.NewInteractive(sys, cfg.Gov)
 	g.Tel = cfg.Telemetry
+	g.Xray = cfg.Xray
 	g.Start()
 	sampler := metrics.NewSampler(sys, cfg.Power)
 	sampler.Tel = cfg.Telemetry
@@ -193,6 +201,7 @@ func NewLive(cfg Config) *Live {
 	if cfg.Thermal != nil {
 		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
 		therm.Tel = cfg.Telemetry
+		therm.Xray = cfg.Xray
 		therm.Start()
 	}
 

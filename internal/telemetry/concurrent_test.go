@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers the named-metric registry from parallel
+// writers while an exporter goroutine renders continuously — the pattern a
+// parallel lab sweep with an attached collector produces. Run under -race
+// this pins the goroutine-safety contract of Counter/Gauge and the registry
+// maps; the final counter values pin that no increments were lost.
+func TestRegistryConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 1000
+	)
+	c := NewCollector()
+
+	stop := make(chan struct{})
+	var exporters sync.WaitGroup
+	exporters.Add(2)
+	go func() {
+		defer exporters.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	go func() {
+		defer exporters.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := c.JSON(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			own := fmt.Sprintf("worker_%d", w)
+			for i := 0; i < iters; i++ {
+				c.Counter("shared").Inc()
+				c.Counter(own).Add(2)
+				c.Gauge("progress").Set(float64(i))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	exporters.Wait()
+
+	if got := c.Counter("shared").Value(); got != workers*iters {
+		t.Errorf("shared counter = %d, want %d (lost increments)", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf("worker_%d", w)
+		if got := c.Counter(name).Value(); got != 2*iters {
+			t.Errorf("counter %s = %d, want %d", name, got, 2*iters)
+		}
+	}
+	if !c.Gauge("progress").Defined() {
+		t.Error("gauge never marked as set")
+	}
+	if got := c.Gauge("progress").Value(); got != float64(iters-1) {
+		t.Errorf("gauge = %g, want %d (last writer wins)", got, iters-1)
+	}
+}

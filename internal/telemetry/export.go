@@ -110,6 +110,7 @@ func (c *Collector) JSON() ([]byte, error) {
 				d.FreqTransitions[strconv.Itoa(ci)] = m
 			}
 		}
+		c.regMu.RLock()
 		if len(c.hists) > 0 {
 			d.Histograms = map[string]HistogramStats{}
 			var names []string
@@ -135,6 +136,7 @@ func (c *Collector) JSON() ([]byte, error) {
 			}
 			d.Gauges[name] = g.Value()
 		}
+		c.regMu.RUnlock()
 		d.Dropped = c.dropped
 	}
 	return json.MarshalIndent(d, "", "  ")

@@ -46,7 +46,10 @@ func promLabel(v string) string {
 //     collector keeps every observation) plus _sum and _count.
 //
 // Safe on a nil collector (writes nothing). blserve serves this on /metrics
-// and `blmetrics -prom` writes it to a file.
+// and `blmetrics -prom` writes it to a file. The registry section (named
+// counters, gauges, histograms) is safe to export while parallel lab
+// workers update counters and gauges; the event aggregates assume the
+// single-threaded engine has quiesced or is serialized by the caller.
 func (c *Collector) WritePrometheus(w io.Writer) error {
 	if c == nil {
 		return nil
@@ -101,6 +104,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	b.WriteString("# TYPE biglittle_events_dropped_total counter\n")
 	fmt.Fprintf(&b, "biglittle_events_dropped_total %d\n", c.dropped)
 
+	c.regMu.RLock()
 	names := make([]string, 0, len(c.counters))
 	for name := range c.counters {
 		names = append(names, name)
@@ -113,7 +117,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 
 	names = names[:0]
 	for name, g := range c.gauges {
-		if g.set {
+		if g.Defined() {
 			names = append(names, name)
 		}
 	}
@@ -137,6 +141,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", mn, h.sum, mn, h.Count())
 	}
+	c.regMu.RUnlock()
 
 	_, err := io.WriteString(w, b.String())
 	return err

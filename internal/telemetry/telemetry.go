@@ -10,15 +10,24 @@
 // The disabled path is a nil Collector: every subsystem holds a
 // *Collector that defaults to nil and guards emission with a single
 // pointer check, so runs without telemetry pay essentially nothing
-// (BenchmarkTelemetryOff in the root package quantifies it). The Collector
-// is not goroutine-safe; like the rest of the simulator it assumes the
-// single-threaded event engine.
+// (BenchmarkTelemetryOff in the root package quantifies it).
+//
+// Concurrency: the event bus (Emit, Events, Summary's event aggregates) is
+// single-threaded, like the simulator that feeds it. The named-metric
+// registry, however, is goroutine-safe — Counter/Gauge lookup and updates
+// may run from parallel lab workers while an exporter (WritePrometheus,
+// JSON) reads, which is exactly what blserve and a verbose sweep do.
+// Histograms are registered under the same lock but their observations
+// remain single-writer (Quantile sorts in place).
 package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"biglittle/internal/event"
 )
@@ -170,6 +179,10 @@ type Collector struct {
 	reasons map[reasonKey]int64
 	freq    map[freqKey]int64 // per-(cluster, target MHz) transition counts
 
+	// regMu guards the named-metric registry maps below. Counters and
+	// gauges themselves are atomic, so registered metrics can be updated
+	// from parallel workers while an exporter iterates under the read lock.
+	regMu    sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -304,32 +317,48 @@ func (c *Collector) FreqTransitions() map[int]map[int]int64 {
 }
 
 // Counter returns (creating on first use) the named monotonic counter.
-// Returns nil on a nil collector; Counter methods are nil-safe.
+// Returns nil on a nil collector; Counter methods are nil-safe. Safe to
+// call from concurrent goroutines.
 func (c *Collector) Counter(name string) *Counter {
 	if c == nil {
 		return nil
 	}
+	c.regMu.RLock()
+	ctr := c.counters[name]
+	c.regMu.RUnlock()
+	if ctr != nil {
+		return ctr
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
 	if c.counters == nil {
 		c.counters = map[string]*Counter{}
 	}
-	ctr := c.counters[name]
-	if ctr == nil {
+	if ctr = c.counters[name]; ctr == nil {
 		ctr = &Counter{}
 		c.counters[name] = ctr
 	}
 	return ctr
 }
 
-// Gauge returns (creating on first use) the named last-value gauge.
+// Gauge returns (creating on first use) the named last-value gauge. Safe to
+// call from concurrent goroutines.
 func (c *Collector) Gauge(name string) *Gauge {
 	if c == nil {
 		return nil
 	}
+	c.regMu.RLock()
+	g := c.gauges[name]
+	c.regMu.RUnlock()
+	if g != nil {
+		return g
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
 	if c.gauges == nil {
 		c.gauges = map[string]*Gauge{}
 	}
-	g := c.gauges[name]
-	if g == nil {
+	if g = c.gauges[name]; g == nil {
 		g = &Gauge{}
 		c.gauges[name] = g
 	}
@@ -337,30 +366,40 @@ func (c *Collector) Gauge(name string) *Gauge {
 }
 
 // Histogram returns (creating on first use) the named value distribution.
+// Registration is goroutine-safe; observations are not (single writer).
 func (c *Collector) Histogram(name string) *Histogram {
 	if c == nil {
 		return nil
 	}
+	c.regMu.RLock()
+	h := c.hists[name]
+	c.regMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
 	if c.hists == nil {
 		c.hists = map[string]*Histogram{}
 	}
-	h := c.hists[name]
-	if h == nil {
+	if h = c.hists[name]; h == nil {
 		h = &Histogram{}
 		c.hists[name] = h
 	}
 	return h
 }
 
-// Counter is a monotonically increasing count. All methods are nil-safe.
-type Counter struct{ n int64 }
+// Counter is a monotonically increasing count. All methods are nil-safe
+// and goroutine-safe: parallel lab workers may increment the same counter
+// while an exporter reads it.
+type Counter struct{ n atomic.Int64 }
 
 // Add increments the counter by delta (negative deltas are ignored).
 func (c *Counter) Add(delta int64) {
 	if c == nil || delta < 0 {
 		return
 	}
-	c.n += delta
+	c.n.Add(delta)
 }
 
 // Inc increments the counter by one.
@@ -371,13 +410,14 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.n
+	return c.n.Load()
 }
 
-// Gauge holds the most recent value of a quantity. Nil-safe.
+// Gauge holds the most recent value of a quantity. Nil-safe and
+// goroutine-safe (last writer wins).
 type Gauge struct {
-	v   float64
-	set bool
+	bits  atomic.Uint64 // math.Float64bits of the last value
+	isSet atomic.Bool
 }
 
 // Set records the current value.
@@ -385,7 +425,8 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.v, g.set = v, true
+	g.bits.Store(math.Float64bits(v))
+	g.isSet.Store(true)
 }
 
 // Value returns the last set value (0 if never set).
@@ -393,8 +434,12 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
+
+// Defined reports whether Set has ever been called; exporters use it to
+// skip never-set gauges.
+func (g *Gauge) Defined() bool { return g != nil && g.isSet.Load() }
 
 // Histogram records a value distribution exactly (all observations kept;
 // simulated runs are short enough that this is cheap and precise). Nil-safe.
@@ -531,6 +576,8 @@ func (c *Collector) Summary(duration event.Time) string {
 		}
 	}
 
+	c.regMu.RLock()
+	defer c.regMu.RUnlock()
 	if len(c.hists) > 0 {
 		var names []string
 		for name, h := range c.hists {
@@ -558,7 +605,7 @@ func (c *Collector) Summary(duration event.Time) string {
 	}
 	var gnames []string
 	for name, g := range c.gauges {
-		if g.set {
+		if g.Defined() {
 			gnames = append(gnames, name)
 		}
 	}

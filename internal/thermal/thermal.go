@@ -8,11 +8,14 @@
 package thermal
 
 import (
+	"fmt"
+
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/power"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/xray"
 )
 
 // Params configures the thermal model.
@@ -58,6 +61,12 @@ type Model struct {
 	// Value the cluster temperature). Emergency hotplug transitions are
 	// emitted by sched.SetCoreOnline as KindHotplug events.
 	Tel *telemetry.Collector
+
+	// Xray, when non-nil, receives a decision span for every cap step: the
+	// cluster temperature against the trip/clear points, the watts that drove
+	// it, and the previous cap. Spans link causally to the cluster's last
+	// governor step. Nil disables tracing at one pointer check per step.
+	Xray *xray.Tracer
 
 	sys      *sched.System
 	pw       power.Params
@@ -157,6 +166,18 @@ func (m *Model) onSample(now event.Time) {
 						MHz: newCap, Reason: telemetry.ReasonThrottle, Value: m.TempC[ci],
 					})
 				}
+				if m.Xray != nil {
+					m.Xray.Throttle(now, ci, newCap,
+						fmt.Sprintf("cap cluster%d at %d MHz", ci, newCap),
+						telemetry.ReasonThrottle,
+						[]xray.Input{
+							{Name: "temp_c", Value: m.TempC[ci]},
+							{Name: "trip_c", Value: m.Par.TripC},
+							{Name: "clear_c", Value: m.Par.ClearC},
+							{Name: "watts", Value: watts},
+							{Name: "prev_cap_mhz", Value: float64(cur)},
+						})
+				}
 			}
 		case m.TempC[ci] < m.Par.ClearC && cl.CapMHz > 0:
 			newCap := cl.CapMHz + 100
@@ -172,6 +193,19 @@ func (m *Model) onSample(now event.Time) {
 					Task: -1, Core: -1, FromCore: -1, Cluster: ci,
 					MHz: cl.CapMHz, Reason: telemetry.ReasonRelease, Value: m.TempC[ci],
 				})
+			}
+			if m.Xray != nil {
+				choice := fmt.Sprintf("raise cluster%d cap to %d MHz", ci, cl.CapMHz)
+				if cl.CapMHz == 0 {
+					choice = fmt.Sprintf("release cluster%d cap", ci)
+				}
+				m.Xray.Throttle(now, ci, cl.CapMHz, choice, telemetry.ReasonRelease,
+					[]xray.Input{
+						{Name: "temp_c", Value: m.TempC[ci]},
+						{Name: "trip_c", Value: m.Par.TripC},
+						{Name: "clear_c", Value: m.Par.ClearC},
+						{Name: "watts", Value: watts},
+					})
 			}
 		}
 		if cl.CapMHz > 0 && cl.CapMHz < cl.MaxMHz() {

@@ -16,6 +16,7 @@ import (
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/xray"
 )
 
 // Sample is one scheduler tick's snapshot.
@@ -55,6 +56,11 @@ type Recorder struct {
 	// Tel, when non-nil, lets ChromeTrace add instant events (migrations,
 	// boosts) and a power counter track from the telemetry event log.
 	Tel *telemetry.Collector
+	// Xray, when non-nil, lets ChromeTrace draw the causal decision chains as
+	// flow arrows: each retained span with a retained parent becomes an
+	// s/f flow pair (wake → migration → frequency step → throttle), rendered
+	// by Perfetto as arrows between the involved core and cluster tracks.
+	Xray *xray.Tracer
 	// names caches task names by ID for rendering.
 	names map[int]string
 }
@@ -277,11 +283,14 @@ func (r *Recorder) Residency() map[string]TaskResidency {
 // Perfetto.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"` // category, flow events only
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`            // microseconds
 	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`   // flow binding, "s"/"f" only
+	BP   string         `json:"bp,omitempty"`   // flow binding point, "f" only
 	S    string         `json:"s,omitempty"`    // instant scope, "i" only
 	Args map[string]any `json:"args,omitempty"` // counter values, instant detail
 }
@@ -359,6 +368,42 @@ func (r *Recorder) ChromeTrace() ([]byte, error) {
 					TID:  nCores + len(soc.Clusters),
 					Args: map[string]any{"tasks": runnable},
 				})
+			}
+		}
+
+		// Causal-chain flow arrows from the xray tracer: one s/f pair per
+		// parent→child decision edge inside the recorded window. Spans land
+		// on their core's track when they have one (wake, migration,
+		// hotplug), else on their cluster's counter track.
+		if r.Xray != nil {
+			lo := r.Samples[0].At
+			hi := r.Samples[len(r.Samples)-1].At + event.Millisecond
+			dump := r.Xray.Dump()
+			tidOf := func(s xray.Span) int {
+				if s.Core >= 0 {
+					return s.Core
+				}
+				return nCores + s.Cluster
+			}
+			for _, s := range dump.Spans {
+				if s.Parent < 0 || s.At < lo || s.At >= hi {
+					continue
+				}
+				p, ok := dump.Get(s.Parent)
+				if !ok || p.At < lo || p.At >= hi {
+					continue
+				}
+				name := fmt.Sprintf("xray %s->%s", p.Kind, s.Kind)
+				events = append(events,
+					chromeEvent{
+						Name: name, Cat: "xray", Ph: "s", ID: s.ID,
+						Ts: float64(p.At) / 1000, PID: 1, TID: tidOf(p),
+					},
+					chromeEvent{
+						Name: name, Cat: "xray", Ph: "f", ID: s.ID, BP: "e",
+						Ts: float64(s.At) / 1000, PID: 1, TID: tidOf(s),
+						Args: map[string]any{"choice": s.Choice, "reason": s.Reason},
+					})
 			}
 		}
 

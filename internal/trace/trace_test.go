@@ -9,6 +9,7 @@ import (
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
 	"biglittle/internal/telemetry"
+	"biglittle/internal/xray"
 )
 
 func rig() (*event.Engine, *sched.System) {
@@ -390,5 +391,61 @@ func TestChromeTraceTelemetryInstants(t *testing.T) {
 	}
 	if strings.Contains(out, "outside") {
 		t.Fatal("event beyond the recorded window leaked into the trace")
+	}
+}
+
+func TestChromeTraceXrayFlowEvents(t *testing.T) {
+	eng, sys := rig()
+	r := Attach(sys, 0, 100*event.Millisecond)
+	x := xray.New()
+	r.Xray = x
+	eng.Run(100 * event.Millisecond)
+
+	// Synthesize a wake -> migration -> freq chain inside the window, plus a
+	// migration outside it; only in-window edges become flow pairs.
+	x.Wake(10*event.Millisecond, 1, "mover", 0, 0, "woke on cpu0", "", nil, nil)
+	x.Migration(40*event.Millisecond, 1, "mover", 0, 4, 1, "cpu0 -> cpu4", "up-threshold", nil, nil)
+	x.FreqStep(60*event.Millisecond, 1, 1000, 1600, "cluster1 1000 -> 1600 MHz", "scale-up", nil, nil)
+	x.Migration(5*event.Second, 1, "mover", 4, 0, 0, "outside-window", "down-threshold", nil, nil)
+
+	data, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	starts, finishes := 0, 0
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "xray" {
+			continue
+		}
+		names[ev.Name] = true
+		switch ev.Ph {
+		case "s":
+			starts++
+		case "f":
+			finishes++
+			if ev.BP != "e" {
+				t.Errorf("flow finish without bp=e: %+v", ev)
+			}
+		}
+		if ev.ID == 0 {
+			t.Errorf("flow event without binding id: %+v", ev)
+		}
+		if strings.Contains(ev.Name, "outside") {
+			t.Errorf("out-of-window span leaked: %+v", ev)
+		}
+	}
+	// Two in-window edges: wake->migration and migration->freq.
+	if starts != 2 || finishes != 2 {
+		t.Fatalf("flow pairs = %d starts / %d finishes, want 2/2:\n%s", starts, finishes, data)
+	}
+	if !names["xray wake->migration"] || !names["xray migration->freq"] {
+		t.Fatalf("flow edge names missing, got %v", names)
 	}
 }

@@ -1,0 +1,27 @@
+package xray
+
+import "testing"
+
+// TestNilTracerZeroAlloc pins the repo-wide nil-observer contract for the
+// tracer: every recording method on a nil *Tracer must be allocation-free,
+// so leaving xray disabled costs nothing beyond the call-site pointer check
+// (which BenchmarkSingleRun's alloc gate covers end to end).
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var x *Tracer
+	cases := map[string]func(){
+		"Wake":      func() { x.Wake(0, 1, "t", 0, 0, "c", "r", nil, nil) },
+		"Migration": func() { x.Migration(0, 1, "t", 0, 1, 0, "c", "r", nil, nil) },
+		"FreqStep":  func() { x.FreqStep(0, 0, 1000, 1200, "c", "r", nil, nil) },
+		"Throttle":  func() { x.Throttle(0, 0, 1400, "c", "r", nil) },
+		"Hotplug":   func() { x.Hotplug(0, 0, 0, "c", "r", nil) },
+		"Len":       func() { x.Len() },
+		"Dropped":   func() { x.Dropped() },
+		"Spans":     func() { x.Spans() },
+		"Enabled":   func() { x.Enabled() },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("nil tracer %s: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}

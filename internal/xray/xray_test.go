@@ -1,0 +1,178 @@
+package xray
+
+import (
+	"strings"
+	"testing"
+
+	"biglittle/internal/event"
+)
+
+const ms = event.Millisecond
+
+// chainTracer records a canonical wake → migration → freq → throttle →
+// hotplug chain on cluster 1 plus an unrelated wake on cluster 0.
+func chainTracer() *Tracer {
+	x := New()
+	x.Wake(0, 7, "other.task", 0, 0, "placed on cpu0", "wake", nil, nil)
+	x.Wake(10*ms, 3, "br.render", 1, 0, "placed on cpu1", "wake",
+		[]Input{{"load", 120}, {"up_threshold", 700}},
+		[]Candidate{{Core: 1, Type: "little", QueueLen: 0}, {Core: 2, Type: "little", QueueLen: 1, Rejected: "deeper-queue"}})
+	x.Migration(140*ms, 3, "br.render", 1, 4, 1, "cpu1 -> cpu4", "up-threshold",
+		[]Input{{"load", 812}, {"up_threshold", 700}},
+		[]Candidate{{Core: 4, Type: "big", QueueLen: 0}, {Core: 5, Type: "big", QueueLen: 2, Rejected: "deeper-queue"}})
+	x.FreqStep(160*ms, 1, 1000, 1600, "cluster1 1000 -> 1600 MHz", "scale-up",
+		[]Input{{"max_util_pct", 92}}, nil)
+	x.Throttle(400*ms, 1, 1400, "cap cluster1 at 1400 MHz", "throttle",
+		[]Input{{"temp_c", 76.2}, {"trip_c", 75}})
+	x.Hotplug(410*ms, 5, 1, "cpu5 offline", "hotplug",
+		[]Input{{"temp_c", 86.1}})
+	return x
+}
+
+func TestCausalChain(t *testing.T) {
+	x := chainTracer()
+	d := x.Dump()
+	if len(d.Spans) != 6 {
+		t.Fatalf("spans = %d, want 6", len(d.Spans))
+	}
+	// IDs are assigned in order: 0 other-wake, 1 wake, 2 migration, 3 freq,
+	// 4 throttle, 5 hotplug.
+	wantParent := map[int64]int64{0: -1, 1: -1, 2: 1, 3: 2, 4: 3, 5: 4}
+	for _, s := range d.Spans {
+		if s.Parent != wantParent[s.ID] {
+			t.Errorf("span %d (%s): parent = %d, want %d", s.ID, s.Kind, s.Parent, wantParent[s.ID])
+		}
+	}
+
+	anc := d.Ancestors(5)
+	if len(anc) != 4 {
+		t.Fatalf("Ancestors(5) = %d spans, want 4", len(anc))
+	}
+	if anc[0].Kind != KindThrottle || anc[3].Kind != KindWake {
+		t.Errorf("ancestor order wrong: closest=%s furthest=%s", anc[0].Kind, anc[3].Kind)
+	}
+
+	desc := d.Descendants(1)
+	if len(desc) != 4 {
+		t.Fatalf("Descendants(1) = %d spans, want 4", len(desc))
+	}
+	if desc[0].Kind != KindMigration || desc[3].Kind != KindHotplug {
+		t.Errorf("descendant order wrong: first=%s last=%s", desc[0].Kind, desc[3].Kind)
+	}
+	// The unrelated wake (span 0) must appear in neither walk.
+	for _, s := range append(anc, desc...) {
+		if s.ID == 0 {
+			t.Errorf("span 0 leaked into the causal walk of span 1's chain")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	x := chainTracer()
+	data, err := x.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind": "migration"`) {
+		t.Errorf("dump should name kinds as strings:\n%s", data)
+	}
+	d, err := ParseDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spans) != x.Len() {
+		t.Fatalf("round-trip spans = %d, want %d", len(d.Spans), x.Len())
+	}
+	for i, s := range d.Spans {
+		orig := x.Spans()[i]
+		if s.ID != orig.ID || s.Kind != orig.Kind || s.Parent != orig.Parent || s.At != orig.At {
+			t.Errorf("span %d changed in round trip: %+v != %+v", i, s, orig)
+		}
+	}
+	if _, err := ParseDump([]byte("{nope")); err == nil {
+		t.Error("ParseDump should reject invalid JSON")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	x := New()
+	x.MaxSpans = 4
+	for i := 0; i < 10; i++ {
+		x.Wake(event.Time(i)*ms, i, "t", 0, 0, "w", "wake", nil, nil)
+	}
+	if x.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", x.Len())
+	}
+	if x.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", x.Dropped())
+	}
+	spans := x.Spans()
+	for i, s := range spans {
+		if want := int64(6 + i); s.ID != want {
+			t.Errorf("spans[%d].ID = %d, want %d (oldest-first order)", i, s.ID, want)
+		}
+	}
+	// A link to an evicted parent terminates the walk instead of failing.
+	d := x.Dump()
+	if _, ok := d.Get(0); ok {
+		t.Error("evicted span still retrievable")
+	}
+	if got := d.Ancestors(9); len(got) != 0 {
+		t.Errorf("Ancestors of a root = %d spans, want 0", len(got))
+	}
+}
+
+func TestTaskSpanNear(t *testing.T) {
+	x := chainTracer()
+	d := x.Dump()
+
+	// At t=140ms exactly, the migration span is the answer.
+	s, ok := d.TaskSpanNear("br.render", 140*ms)
+	if !ok || s.Kind != KindMigration {
+		t.Fatalf("TaskSpanNear(140ms) = %+v, %v; want the migration", s, ok)
+	}
+	// Before the migration, the wake.
+	s, ok = d.TaskSpanNear("br.render", 50*ms)
+	if !ok || s.Kind != KindWake {
+		t.Fatalf("TaskSpanNear(50ms) = %+v, %v; want the wake", s, ok)
+	}
+	// Before any span for the task: earliest span after.
+	s, ok = d.TaskSpanNear("br.render", 0)
+	if !ok || s.Kind != KindWake {
+		t.Fatalf("TaskSpanNear(0) = %+v, %v; want the wake", s, ok)
+	}
+	if _, ok := d.TaskSpanNear("nope", 0); ok {
+		t.Error("TaskSpanNear found a span for an unknown task")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	x := chainTracer()
+	d := x.Dump()
+	mig, _ := d.Get(2)
+	out := mig.Format()
+	for _, want := range []string{"migration", "inputs:", "up_threshold=700", "candidates:", "CHOSEN", "rejected: deeper-queue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(mig.Line(), "br.render") {
+		t.Errorf("Line() should name the task: %s", mig.Line())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		var back Kind
+		if err := back.UnmarshalJSON([]byte(`"` + k.String() + `"`)); err != nil || back != k {
+			t.Errorf("kind %v did not round-trip: %v %v", k, back, err)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("UnmarshalJSON accepted an unknown kind")
+	}
+}

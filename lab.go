@@ -7,6 +7,9 @@ import "biglittle/internal/lab"
 // cache, so warm re-runs of the same configuration skip simulation. Set one
 // as ExperimentOptions.Runner to parallelize and cache the Fig*/Table*
 // drivers; the zero value runs with GOMAXPROCS workers and no cache.
+// Attach a *slog.Logger to Log for structured sweep progress (per-job
+// transitions, completed/total, jobs/sec, ETA — what the experiment
+// commands' -v flag does).
 type LabRunner = lab.Runner
 
 // LabJob is one declarative experiment for a LabRunner: a fully resolved
@@ -17,7 +20,10 @@ type LabJob = lab.Job
 type LabCache = lab.Cache
 
 // LabStats counts what a LabRunner did: jobs, cache hits and misses,
-// simulations, retries, failures.
+// simulations, results stored to the cache, retries, failures, and audit
+// outcomes. Every field mirrors into a telemetry counter of the same
+// meaning (lab_jobs, lab_cache_hits, ... lab_audit_failures) when a
+// collector is attached to the runner.
 type LabStats = lab.Stats
 
 // LabEntry describes one cached result (what `bllab ls` prints).

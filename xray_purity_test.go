@@ -1,0 +1,75 @@
+package biglittle_test
+
+import (
+	"testing"
+
+	"biglittle"
+)
+
+// TestXrayPureObserver pins the acceptance criterion that the causal tracer
+// never perturbs a simulation: a golden-corpus config run with a tracer
+// attached must render byte-identically to the same run without one, while
+// the traced run actually records decision spans with candidates, rejection
+// reasons, and causal links.
+func TestXrayPureObserver(t *testing.T) {
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(xr *biglittle.Xray) string {
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = goldenDur
+		cfg.Xray = xr
+		return goldenRender(cfg.Cores, biglittle.Run(cfg))
+	}
+
+	plain := run(nil)
+	xr := biglittle.NewXray()
+	traced := run(xr)
+	if plain != traced {
+		t.Fatalf("tracer perturbed the simulation:\n--- without xray ---\n%s\n--- with xray ---\n%s", plain, traced)
+	}
+
+	if xr.Len() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	d := xr.Dump()
+	wakes := d.ByKind(biglittle.XrayKindWake)
+	if len(wakes) == 0 {
+		t.Fatal("no wake spans recorded")
+	}
+	// At least one span must carry a full decision record: inputs,
+	// candidates, a chosen one, and a rejected one with a reason.
+	full := false
+	for _, s := range wakes {
+		chosen, rejected := false, false
+		for _, c := range s.Candidates {
+			if c.Rejected == "" {
+				chosen = true
+			} else {
+				rejected = true
+			}
+		}
+		if len(s.Inputs) > 0 && chosen && rejected {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("no wake span carries inputs + chosen + rejected candidates")
+	}
+	// And the causal links must connect: some span must have a retained
+	// parent (e.g. a governor step caused by a placement).
+	linked := false
+	for _, s := range d.Spans {
+		if s.Parent >= 0 {
+			if _, ok := d.Get(s.Parent); ok {
+				linked = true
+				break
+			}
+		}
+	}
+	if !linked {
+		t.Fatal("no span is causally linked to a retained parent")
+	}
+}
