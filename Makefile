@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke profile-single serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -25,7 +25,7 @@ bench-smoke:
 # output into BENCH_baseline.json; bench-compare re-measures and fails if a
 # gated benchmark's median regressed >10% (time only on the same CPU model;
 # allocs/op everywhere — it is machine-independent).
-GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower
+GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower|BenchmarkDigestOff|BenchmarkDigestOn
 
 bench-baseline:
 	go test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -count 6 . | tee /tmp/blbench-baseline.txt
@@ -84,6 +84,20 @@ xray-smoke:
 	/tmp/blxray chain -in /tmp/blxray-smoke.json -migration 1 > /tmp/blxray-chain.txt
 	grep -q 'wake' /tmp/blxray-chain.txt
 	@echo "xray-smoke: OK"
+
+# End-to-end smoke of the differential forensics tool: a seeded A/B pair
+# differing in one HMP threshold must diff to a located first divergent
+# decision (exit 1), and an identical pair must report "identical" (exit 0).
+diff-smoke:
+	go build -o /tmp/bldiff ./cmd/bldiff
+	/tmp/bldiff run -app bbench -duration 2s -seed 1 -b up=350 > /tmp/bldiff-div.txt; \
+		[ $$? -eq 1 ] || { echo "diff-smoke: divergent pair did not exit 1" >&2; exit 1; }
+	grep -q 'first divergent window' /tmp/bldiff-div.txt
+	grep -q 'first divergent decision' /tmp/bldiff-div.txt
+	grep -q 'up_threshold' /tmp/bldiff-div.txt
+	/tmp/bldiff run -app bbench -duration 2s -seed 1 > /tmp/bldiff-same.txt
+	grep -q 'identical' /tmp/bldiff-same.txt
+	@echo "diff-smoke: OK"
 
 # Regenerate every paper table/figure plus the extension studies (~30s).
 report:

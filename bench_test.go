@@ -308,6 +308,34 @@ func BenchmarkSingleRun(b *testing.B) {
 	}
 }
 
+// BenchmarkDigestOff is BenchmarkSingleRun under its digest-gate name: the
+// baseline the gate holds BenchmarkDigestOn against. The digest recorder's
+// nil fast path must keep this identical to an undigested run (0 extra
+// allocs/op budget — see BENCH_baseline.json).
+func BenchmarkDigestOff(b *testing.B) {
+	app, _ := biglittle.AppByName("fifa15")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = benchOpts.Duration
+		biglittle.Run(cfg)
+	}
+}
+
+// BenchmarkDigestOn times the same run with a digest recorder attached at
+// the default ~1k-window rate, bounding the cost of always-on cross-run
+// fingerprinting.
+func BenchmarkDigestOn(b *testing.B) {
+	app, _ := biglittle.AppByName("fifa15")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = benchOpts.Duration
+		cfg.Digest = biglittle.NewDigestRecorder()
+		biglittle.Run(cfg)
+	}
+}
+
 // --- Extension studies -----------------------------------------------------
 
 // BenchmarkExtTinyCores: the §VI-B tiny-core proposal — average power saving

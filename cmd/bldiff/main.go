@@ -1,0 +1,299 @@
+// Command bldiff is the differential forensics tool: it compares two
+// simulator runs and reports the first place they diverge — window, tick,
+// and decision — plus the metric deltas that follow.
+//
+// Subcommands:
+//
+//	bldiff run -app bbench -duration 2s -b up=350
+//	    Run the base config and the config with -b's overrides applied
+//	    (optionally -a overrides on the base too), locate the first
+//	    divergent window via state-digest chains, replay both sides with
+//	    decision tracing over just that window, and print the two-column
+//	    forensic report. Exit 0 when identical, 1 when divergent.
+//
+//	bldiff results -a a.json -b b.json [-tol-rel 1e-9]
+//	    Structurally diff two result files (blsim -json output) with
+//	    tolerance-aware significance marking. Exit 1 on significant deltas.
+//
+//	bldiff xray -a a.json -b b.json
+//	    Align two causal-decision dumps (blsim -xray / blserve /xray) and
+//	    report the first divergent decision. Exit 1 when divergent.
+//
+//	bldiff golden [-dir testdata/golden] [-app bbench]
+//	    Re-simulate the golden corpus configs and explain any break at
+//	    line/field granularity with the corpus's own renderer. Exit 1 on
+//	    mismatch.
+//
+// Exit codes follow diff(1): 0 = identical, 1 = divergent, 2 = error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"biglittle"
+	"biglittle/internal/cli"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "bldiff: usage: bldiff <run|results|xray|golden> [flags] (-h for help)")
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return runCompare(args[1:], stdout, stderr)
+	case "results":
+		return runResults(args[1:], stdout, stderr)
+	case "xray":
+		return runXray(args[1:], stdout, stderr)
+	case "golden":
+		return runGolden(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "bldiff: unknown subcommand %q (want run, results, xray, or golden)\n", args[0])
+		return 2
+	}
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bldiff run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		appName  = fs.String("app", "bbench", "application model to compare")
+		duration = fs.Duration("duration", 2*time.Second, "simulated duration (both sides)")
+		seed     = fs.Int64("seed", 1, "workload random seed (both sides)")
+		windows  = fs.Int("windows", 0, "digest-chain length (0 = default ~1k)")
+		ovA      = fs.String("a", "", "side-A config overrides, e.g. up=700,governor=interactive")
+		ovB      = fs.String("b", "", "side-B config overrides, e.g. up=350")
+		tolRel   = fs.Float64("tol-rel", 1e-12, "relative tolerance for significance marking")
+		tolAbs   = fs.Float64("tol-abs", 0, "absolute tolerance for significance marking")
+		asJSON   = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	app, err := biglittle.AppByName(*appName)
+	if err != nil {
+		fmt.Fprintf(stderr, "bldiff run: %v\n", err)
+		return 2
+	}
+	base := biglittle.DefaultConfig(app)
+	base.Duration = biglittle.Time(duration.Nanoseconds())
+	base.Seed = *seed
+	cfgA, cfgB := base, base
+	if err := cli.ApplyOverrides(&cfgA, *ovA); err != nil {
+		fmt.Fprintf(stderr, "bldiff run: -a: %v\n", err)
+		return 2
+	}
+	if err := cli.ApplyOverrides(&cfgB, *ovB); err != nil {
+		fmt.Fprintf(stderr, "bldiff run: -b: %v\n", err)
+		return 2
+	}
+	labelA, labelB := *ovA, *ovB
+	if labelA == "" {
+		labelA = "base"
+	}
+	if labelB == "" {
+		labelB = "base"
+	}
+	rep, err := biglittle.DiffRuns(cfgA, cfgB, biglittle.DiffOptions{
+		Windows: *windows,
+		Tol:     biglittle.DiffTolerance{Rel: *tolRel, Abs: *tolAbs},
+		LabelA:  labelA, LabelB: labelB,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "bldiff run: %v\n", err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "bldiff run: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprint(stdout, rep.Render())
+	}
+	if rep.Identical {
+		return 0
+	}
+	return 1
+}
+
+func runResults(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bldiff results", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fileA  = fs.String("a", "", "side-A result JSON (blsim -json)")
+		fileB  = fs.String("b", "", "side-B result JSON")
+		tolRel = fs.Float64("tol-rel", 1e-9, "relative tolerance for significance")
+		tolAbs = fs.Float64("tol-abs", 0, "absolute tolerance for significance")
+		all    = fs.Bool("all", false, "print every delta, not just the significant ones")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fileA == "" || *fileB == "" {
+		fmt.Fprintln(stderr, "bldiff results: both -a and -b result files are required")
+		return 2
+	}
+	var ra, rb biglittle.Result
+	if err := readJSON(*fileA, &ra); err != nil {
+		fmt.Fprintf(stderr, "bldiff results: %v\n", err)
+		return 2
+	}
+	if err := readJSON(*fileB, &rb); err != nil {
+		fmt.Fprintf(stderr, "bldiff results: %v\n", err)
+		return 2
+	}
+	ds := biglittle.DiffValues(ra, rb, biglittle.DiffTolerance{Rel: *tolRel, Abs: *tolAbs})
+	sig := biglittle.SignificantDeltas(ds)
+	show := sig
+	if *all {
+		show = ds
+	}
+	fmt.Fprintf(stdout, "results: %d field(s) differ, %d significant (a -> b):\n%s",
+		len(ds), len(sig), biglittle.DiffSummary(show, 0))
+	if len(sig) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runXray(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bldiff xray", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fileA = fs.String("a", "", "side-A xray dump (blsim -xray / blserve /xray)")
+		fileB = fs.String("b", "", "side-B xray dump")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fileA == "" || *fileB == "" {
+		fmt.Fprintln(stderr, "bldiff xray: both -a and -b dump files are required")
+		return 2
+	}
+	da, err := readDump(*fileA)
+	if err != nil {
+		fmt.Fprintf(stderr, "bldiff xray: %v\n", err)
+		return 2
+	}
+	db, err := readDump(*fileB)
+	if err != nil {
+		fmt.Fprintf(stderr, "bldiff xray: %v\n", err)
+		return 2
+	}
+	idx, ok := biglittle.FirstDivergentXraySpan(da.Spans, db.Spans)
+	if !ok {
+		fmt.Fprintf(stdout, "identical: %d decisions, same sequence on both sides\n", len(da.Spans))
+		return 0
+	}
+	fmt.Fprintf(stdout, "first divergent decision at stream index %d (a: %d spans, b: %d spans)\n",
+		idx, len(da.Spans), len(db.Spans))
+	if idx < len(da.Spans) {
+		fmt.Fprintf(stdout, "--- a ---\n%s", da.Spans[idx].Format())
+	} else {
+		fmt.Fprintln(stdout, "--- a ---\n(stream ended)")
+	}
+	if idx < len(db.Spans) {
+		fmt.Fprintf(stdout, "--- b ---\n%s", db.Spans[idx].Format())
+	} else {
+		fmt.Fprintln(stdout, "--- b ---\n(stream ended)")
+	}
+	if idx < len(da.Spans) && idx < len(db.Spans) {
+		ds := biglittle.DiffXraySpanProvenance(da.Spans[idx], db.Spans[idx], biglittle.DiffTolerance{})
+		if len(ds) > 0 {
+			fmt.Fprintf(stdout, "inputs and candidates that differed (a -> b):\n%s", biglittle.DiffSummary(ds, 0))
+		}
+	}
+	return 1
+}
+
+func runGolden(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bldiff golden", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("dir", filepath.Join("testdata", "golden"), "golden corpus directory")
+		appName = fs.String("app", "", "check one app (default: every app with a golden file)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	apps := biglittle.Apps()
+	if *appName != "" {
+		app, err := biglittle.AppByName(*appName)
+		if err != nil {
+			fmt.Fprintf(stderr, "bldiff golden: %v\n", err)
+			return 2
+		}
+		apps = []biglittle.App{app}
+	}
+	broken := 0
+	for _, app := range apps {
+		path := filepath.Join(*dir, app.Name+".txt")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			if *appName == "" && os.IsNotExist(err) {
+				continue // no golden file for this app; nothing to break
+			}
+			fmt.Fprintf(stderr, "bldiff golden: %v\n", err)
+			return 2
+		}
+		got := renderGoldenApp(app)
+		if explain := biglittle.ExplainTextDiff(string(want), got); explain != "" {
+			broken++
+			fmt.Fprintf(stdout, "%s: BROKEN: %s\n", app.Name, explain)
+		} else {
+			fmt.Fprintf(stdout, "%s: ok\n", app.Name)
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(stdout, "%d golden file(s) broken (regenerate intentionally with `make golden-update`)\n", broken)
+		return 1
+	}
+	return 0
+}
+
+// renderGoldenApp rebuilds one app's golden text exactly as golden_test.go
+// does: every §V-C hotplug configuration at the pinned duration, rendered
+// with the shared corpus renderer.
+func renderGoldenApp(app biglittle.App) string {
+	out := fmt.Sprintf("golden master: %s, seed 1, %v per config\n", app.Name, biglittle.GoldenDuration)
+	for _, cc := range biglittle.StudyConfigs() {
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = biglittle.GoldenDuration
+		cfg.Cores = cc
+		out += biglittle.RenderGolden(cc, biglittle.Run(cfg))
+	}
+	return out
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+func readDump(path string) (*biglittle.XrayDump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return biglittle.ParseXrayDump(data)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"biglittle"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunIdenticalExitsZero(t *testing.T) {
+	code, out, _ := runCmd(t, "run", "-app", "bbench", "-duration", "500ms")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("output does not report identical:\n%s", out)
+	}
+}
+
+func TestRunDivergentExitsOne(t *testing.T) {
+	code, out, _ := runCmd(t, "run", "-app", "bbench", "-duration", "1s", "-b", "up=350")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; out:\n%s", code, out)
+	}
+	for _, want := range []string{"first divergent window", "first divergent decision", "up_threshold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	code, out, _ := runCmd(t, "run", "-app", "bbench", "-duration", "500ms", "-b", "up=350", "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var rep biglittle.DiffReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Identical || rep.DivergentWindow < 0 {
+		t.Fatalf("JSON report lost the divergence: %+v", rep)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"run", "-app", "noapp"},
+		{"run", "-b", "warp=9"},
+		{"results"},
+		{"xray", "-a", "x"},
+		{"golden", "-app", "noapp"},
+	} {
+		if code, _, errb := runCmd(t, args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2 (stderr %q)", args, code, errb)
+		} else if errb == "" {
+			t.Errorf("args %v: no error message on stderr", args)
+		}
+	}
+}
+
+func TestResultsDiff(t *testing.T) {
+	dir := t.TempDir()
+	app, _ := biglittle.AppByName("bbench")
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 500 * biglittle.Millisecond
+	ra := biglittle.Run(cfg)
+	rb := ra
+	rb.EnergyMJ *= 1.1
+	write := func(name string, r biglittle.Result) string {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pa, pb := write("a.json", ra), write("b.json", rb)
+
+	if code, out, _ := runCmd(t, "results", "-a", pa, "-b", pa); code != 0 {
+		t.Fatalf("self-compare exit = %d, out:\n%s", code, out)
+	}
+	code, out, _ := runCmd(t, "results", "-a", pa, "-b", pb)
+	if code != 1 || !strings.Contains(out, "EnergyMJ") {
+		t.Fatalf("exit = %d, out:\n%s", code, out)
+	}
+	// A tolerance wide enough to cover the tamper turns significance off.
+	if code, _, _ := runCmd(t, "results", "-a", pa, "-b", pb, "-tol-rel", "0.5"); code != 0 {
+		t.Fatal("wide tolerance should exit 0")
+	}
+}
+
+func TestXrayDiff(t *testing.T) {
+	dir := t.TempDir()
+	dump := func(name string, up int) string {
+		app, _ := biglittle.AppByName("bbench")
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = 1 * biglittle.Second
+		cfg.Sched.UpThreshold = up
+		xr := biglittle.NewXray()
+		xr.MaxSpans = -1
+		cfg.Xray = xr
+		biglittle.Run(cfg)
+		data, err := xr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pa, pb := dump("a.json", 700), dump("b.json", 350)
+	if code, out, _ := runCmd(t, "xray", "-a", pa, "-b", pa); code != 0 {
+		t.Fatalf("self-compare exit = %d, out:\n%s", code, out)
+	}
+	code, out, _ := runCmd(t, "xray", "-a", pa, "-b", pb)
+	if code != 1 || !strings.Contains(out, "first divergent decision") {
+		t.Fatalf("exit = %d, out:\n%s", code, out)
+	}
+}
+
+func TestGoldenCheck(t *testing.T) {
+	dir := t.TempDir()
+	app, _ := biglittle.AppByName("bbench")
+	good := renderGoldenApp(app)
+	path := filepath.Join(dir, "bbench.txt")
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runCmd(t, "golden", "-dir", dir, "-app", "bbench"); code != 0 {
+		t.Fatalf("intact golden exit = %d, out:\n%s", code, out)
+	}
+	// Corrupt one numeric field; the tool must name the line and field.
+	bad := strings.Replace(good, "power=", "power=9", 1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, "golden", "-dir", dir, "-app", "bbench")
+	if code != 1 || !strings.Contains(out, "first divergence at line") {
+		t.Fatalf("exit = %d, out:\n%s", code, out)
+	}
+}

@@ -92,6 +92,7 @@ func main() {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/tasks/", s.handleTask)
 	mux.HandleFunc("/xray", s.handleXray)
+	mux.HandleFunc("/diff", s.handleDiff)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -204,6 +205,7 @@ endpoints:
   /snapshot       JSON attribution tables (run/wait by core type, residency, energy, migrations)
   /tasks/<name>   one task's attribution row
   /xray           causal decision flight recorder (last spans, JSON; pipe to blxray)
+  /diff           POST {"a": <xray dump>, "b": <xray dump>}: first divergent decision
   /debug/pprof/   Go pprof
 `, now, phase)
 }
@@ -254,6 +256,81 @@ func (s *server) handleXray(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// diffRequest is /diff's POST body: two xray dumps (as served at /xray or
+// written by blsim -xray), e.g. snapshots of the same session at two
+// revisions or two tunings.
+type diffRequest struct {
+	A json.RawMessage `json:"a"`
+	B json.RawMessage `json:"b"`
+}
+
+// diffResponse reports the first divergent decision between the two dumps.
+type diffResponse struct {
+	Identical bool `json:"identical"`
+	// Index is the span-stream position of the first divergent decision
+	// (-1 when identical).
+	Index int `json:"index"`
+	// SpansA/SpansB count each side's decisions.
+	SpansA int `json:"spans_a"`
+	SpansB int `json:"spans_b"`
+	// A/B are the divergent pair (absent when identical or one-sided).
+	A *biglittle.XraySpan `json:"a,omitempty"`
+	B *biglittle.XraySpan `json:"b,omitempty"`
+	// Provenance lists the inputs and candidate-table differences of the
+	// divergent pair.
+	Provenance []biglittle.FieldDelta `json:"provenance,omitempty"`
+}
+
+// handleDiff aligns two uploaded xray dumps and reports the first decision
+// that went differently — the cross-run forensics bldiff performs, over HTTP
+// so dashboards can compare a live session against a saved baseline.
+func (s *server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `diff wants POST {"a": <xray dump>, "b": <xray dump>}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var req diffRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.A) == 0 || len(req.B) == 0 {
+		http.Error(w, `both "a" and "b" dumps are required`, http.StatusBadRequest)
+		return
+	}
+	da, err := biglittle.ParseXrayDump(req.A)
+	if err != nil {
+		http.Error(w, "dump a: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	db, err := biglittle.ParseXrayDump(req.B)
+	if err != nil {
+		http.Error(w, "dump b: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := diffResponse{Index: -1, SpansA: len(da.Spans), SpansB: len(db.Spans)}
+	if idx, ok := biglittle.FirstDivergentXraySpan(da.Spans, db.Spans); ok {
+		resp.Index = idx
+		if idx < len(da.Spans) {
+			sp := da.Spans[idx]
+			resp.A = &sp
+		}
+		if idx < len(db.Spans) {
+			sp := db.Spans[idx]
+			resp.B = &sp
+		}
+		if resp.A != nil && resp.B != nil {
+			resp.Provenance = biglittle.DiffXraySpanProvenance(*resp.A, *resp.B, biglittle.DiffTolerance{})
+		}
+	} else {
+		resp.Identical = true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 func (s *server) handleTask(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"biglittle"
+)
+
+// testServer builds a server around a short live session advanced far enough
+// to have decisions in the flight recorder, with the full route table.
+func testServer(t *testing.T) (*server, http.Handler) {
+	t.Helper()
+	phases, err := parsePhases("bbench:2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.NewSession(phases...)
+	tel := biglittle.NewTelemetry()
+	prof := biglittle.NewProfiler()
+	xr := biglittle.NewXray()
+	cfg.Telemetry = tel
+	cfg.Profiler = prof
+	cfg.Xray = xr
+	s := &server{live: biglittle.NewLiveSession(cfg), tel: tel, prof: prof, xr: xr}
+	s.live.Advance(1 * biglittle.Second)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/tasks/", s.handleTask)
+	mux.HandleFunc("/xray", s.handleXray)
+	mux.HandleFunc("/diff", s.handleDiff)
+	return s, mux
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestXrayEndpoint(t *testing.T) {
+	_, h := testServer(t)
+	rec := get(t, h, "/xray")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /xray = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	// The served dump must round-trip through the same parser blxray uses.
+	d, err := biglittle.ParseXrayDump(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("ParseXrayDump on /xray body: %v", err)
+	}
+	if len(d.Spans) == 0 {
+		t.Fatal("1s of simulated session recorded no decisions")
+	}
+}
+
+func TestDiffEndpointIdentical(t *testing.T) {
+	s, h := testServer(t)
+	dump, err := s.xr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]json.RawMessage{"a": dump, "b": dump})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diff", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /diff = %d, want 200; body: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var resp diffResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	if !resp.Identical || resp.Index != -1 {
+		t.Fatalf("self-diff not identical: %+v", resp)
+	}
+	if resp.SpansA == 0 || resp.SpansA != resp.SpansB {
+		t.Fatalf("span counts wrong: %+v", resp)
+	}
+}
+
+func TestDiffEndpointDivergent(t *testing.T) {
+	_, h := testServer(t)
+	// Two fresh single-run dumps differing only in the HMP up-threshold.
+	dump := func(up int) json.RawMessage {
+		app, err := biglittle.AppByName("bbench")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Duration = 1 * biglittle.Second
+		cfg.Sched.UpThreshold = up
+		xr := biglittle.NewXray()
+		xr.MaxSpans = -1
+		cfg.Xray = xr
+		biglittle.Run(cfg)
+		data, err := xr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	body, _ := json.Marshal(map[string]json.RawMessage{"a": dump(700), "b": dump(350)})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diff", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /diff = %d, want 200; body: %s", rec.Code, rec.Body)
+	}
+	var resp diffResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Identical || resp.Index < 0 {
+		t.Fatalf("threshold change not detected: %+v", resp)
+	}
+	if resp.A == nil || resp.B == nil {
+		t.Fatalf("divergent pair missing from response: %+v", resp)
+	}
+	if resp.A.SameDecision(*resp.B) {
+		t.Fatal("reported spans do not actually diverge")
+	}
+	found := false
+	for _, d := range resp.Provenance {
+		if strings.Contains(d.Path, "up_threshold") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("provenance does not surface the changed threshold: %+v", resp.Provenance)
+	}
+}
+
+func TestDiffEndpointErrors(t *testing.T) {
+	_, h := testServer(t)
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/diff", strings.NewReader(body)))
+		return rec
+	}
+	if rec := get(t, h, "/diff"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /diff = %d, want 405", rec.Code)
+	}
+	if rec := post("not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body = %d, want 400", rec.Code)
+	}
+	if rec := post(`{"a": {"spans": []}}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing side = %d, want 400", rec.Code)
+	}
+	if rec := post(`{"a": 42, "b": 42}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unparseable dump = %d, want 400", rec.Code)
+	}
+}
+
+func TestIndexListsDiff(t *testing.T) {
+	_, h := testServer(t)
+	rec := get(t, h, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET / = %d, want 200", rec.Code)
+	}
+	for _, want := range []string{"/xray", "/diff", "/metrics"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("index does not list %s:\n%s", want, rec.Body)
+		}
+	}
+}

@@ -9,6 +9,9 @@
 //	blxray ls -in /tmp/run.json [-kind migration]
 //	blxray explain -in /tmp/run.json -task bb.js -t 140ms
 //	blxray chain -in /tmp/run.json -migration 1
+//
+// Exit codes: 0 = success, 1 = query found nothing (unknown task, span, or
+// migration), 2 = usage or input error.
 package main
 
 import (
@@ -17,13 +20,23 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"biglittle"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+// spanKinds is the -kind vocabulary, kept in one place so the error message
+// and the filter can't drift apart.
+var spanKinds = []string{"wake", "migration", "freq", "hotplug", "throttle"}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintf(stderr, `usage:
   blxray ls      [-in FILE] [-kind wake|migration|freq|hotplug|throttle]
   blxray explain [-in FILE] -task NAME [-t DURATION]
   blxray chain   [-in FILE] -migration K | -span ID
@@ -31,155 +44,210 @@ func usage() {
 -in defaults to stdin, so dumps pipe straight in:
   curl -s localhost:8080/xray | blxray explain -task bb.js -t 140ms
 `)
-	os.Exit(2)
-}
-
-func main() {
-	if len(os.Args) < 2 {
-		usage()
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "ls":
-		lsMain(os.Args[2:])
+		return lsMain(args[1:], stdin, stdout, stderr)
 	case "explain":
-		explainMain(os.Args[2:])
+		return explainMain(args[1:], stdin, stdout, stderr)
 	case "chain":
-		chainMain(os.Args[2:])
+		return chainMain(args[1:], stdin, stdout, stderr)
 	default:
-		usage()
+		fmt.Fprintf(stderr, "blxray: unknown subcommand %q (want ls, explain, or chain)\n", args[0])
+		return 2
 	}
 }
 
-func loadDump(path string) *biglittle.XrayDump {
+func loadDump(path string, stdin io.Reader) (*biglittle.XrayDump, error) {
 	var data []byte
 	var err error
 	if path == "" || path == "-" {
-		data, err = io.ReadAll(os.Stdin)
+		data, err = io.ReadAll(stdin)
 	} else {
 		data, err = os.ReadFile(path)
 	}
 	if err == nil && len(data) == 0 {
 		err = fmt.Errorf("empty dump (pass -in FILE or pipe a dump to stdin)")
 	}
-	var d *biglittle.XrayDump
-	if err == nil {
-		d, err = biglittle.ParseXrayDump(data)
-	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "blxray:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	return d
+	return biglittle.ParseXrayDump(data)
 }
 
 // parseAt accepts a Go duration ("140ms", "1.5s") or a bare number of
-// milliseconds.
+// milliseconds. Negative times are rejected: simulated time starts at zero.
 func parseAt(s string) (biglittle.Time, error) {
+	var t biglittle.Time
 	if ms, err := strconv.ParseFloat(s, 64); err == nil {
-		return biglittle.Time(ms * float64(biglittle.Millisecond)), nil
+		t = biglittle.Time(ms * float64(biglittle.Millisecond))
+	} else {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad time %q: want a duration like 140ms or a number of ms", s)
+		}
+		t = biglittle.Time(d.Nanoseconds())
 	}
-	d, err := time.ParseDuration(s)
-	if err != nil {
-		return 0, fmt.Errorf("bad time %q: want a duration like 140ms or a number of ms", s)
+	if t < 0 {
+		return 0, fmt.Errorf("bad time %q: simulated time starts at 0", s)
 	}
-	return biglittle.Time(d.Nanoseconds()), nil
+	return t, nil
 }
 
-func lsMain(args []string) {
-	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+func lsMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blxray ls", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	in := fs.String("in", "", "dump file (default stdin)")
 	kind := fs.String("kind", "", "only spans of this kind (wake|migration|freq|hotplug|throttle)")
-	fs.Parse(args)
-	d := loadDump(*in)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *kind != "" {
+		ok := false
+		for _, k := range spanKinds {
+			if *kind == k {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(stderr, "blxray ls: unknown kind %q (want %s)\n", *kind, strings.Join(spanKinds, ", "))
+			return 2
+		}
+	}
+	d, err := loadDump(*in, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "blxray ls:", err)
+		return 2
+	}
 	n := 0
 	for _, s := range d.Spans {
 		if *kind != "" && s.Kind.String() != *kind {
 			continue
 		}
-		fmt.Println(s.Line())
+		fmt.Fprintln(stdout, s.Line())
 		n++
 	}
-	fmt.Fprintf(os.Stderr, "%d spans", n)
+	fmt.Fprintf(stderr, "%d spans", n)
 	if d.Dropped > 0 {
-		fmt.Fprintf(os.Stderr, " (%d older spans dropped from the flight recorder)", d.Dropped)
+		fmt.Fprintf(stderr, " (%d older spans dropped from the flight recorder)", d.Dropped)
 	}
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(stderr)
+	return 0
 }
 
 // printChain renders a span with its full causal context: the ancestors that
 // led to it and the decisions it went on to cause.
-func printChain(d *biglittle.XrayDump, s biglittle.XraySpan) {
-	fmt.Print(s.Format())
+func printChain(w io.Writer, d *biglittle.XrayDump, s biglittle.XraySpan) {
+	fmt.Fprint(w, s.Format())
 	if anc := d.Ancestors(s.ID); len(anc) > 0 {
-		fmt.Println("caused by:")
+		fmt.Fprintln(w, "caused by:")
 		for _, a := range anc {
-			fmt.Println(" ", a.Line())
+			fmt.Fprintln(w, " ", a.Line())
 		}
 	} else if s.Parent >= 0 {
-		fmt.Printf("caused by: span %d (no longer retained)\n", s.Parent)
+		fmt.Fprintf(w, "caused by: span %d (no longer retained)\n", s.Parent)
 	}
 	if desc := d.Descendants(s.ID); len(desc) > 0 {
-		fmt.Println("leads to:")
+		fmt.Fprintln(w, "leads to:")
 		for _, c := range desc {
-			fmt.Println(" ", c.Line())
+			fmt.Fprintln(w, " ", c.Line())
 		}
 	}
 }
 
-func explainMain(args []string) {
-	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+func explainMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blxray explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	in := fs.String("in", "", "dump file (default stdin)")
 	task := fs.String("task", "", "task name, e.g. bb.js (required)")
 	at := fs.String("t", "", "time of interest, e.g. 140ms (default: the task's last decision)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *task == "" {
-		fmt.Fprintln(os.Stderr, "blxray explain: -task is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "blxray explain: -task is required")
+		return 2
 	}
 	when := biglittle.Time(1 << 62) // default: latest span for the task
 	if *at != "" {
 		t, err := parseAt(*at)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "blxray explain:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "blxray explain:", err)
+			return 2
 		}
 		when = t
 	}
-	d := loadDump(*in)
+	d, err := loadDump(*in, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "blxray explain:", err)
+		return 2
+	}
 	s, ok := d.TaskSpanNear(*task, when)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "blxray explain: no placement spans for task %q in this dump\n", *task)
-		os.Exit(1)
+		known := taskNames(d)
+		if len(known) > 0 {
+			fmt.Fprintf(stderr, "blxray explain: no placement spans for task %q in this dump (tasks seen: %s)\n",
+				*task, strings.Join(known, ", "))
+		} else {
+			fmt.Fprintf(stderr, "blxray explain: no placement spans for task %q in this dump\n", *task)
+		}
+		return 1
 	}
-	printChain(d, s)
+	printChain(stdout, d, s)
+	return 0
 }
 
-func chainMain(args []string) {
-	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+// taskNames collects the distinct task names in a dump, in first-seen order,
+// so "unknown task" errors can say what would have worked.
+func taskNames(d *biglittle.XrayDump) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range d.Spans {
+		if s.TaskName != "" && !seen[s.TaskName] {
+			seen[s.TaskName] = true
+			names = append(names, s.TaskName)
+		}
+	}
+	return names
+}
+
+func chainMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blxray chain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	in := fs.String("in", "", "dump file (default stdin)")
-	mig := fs.Int("migration", -1, "walk the chain of the k-th migration span (1-based)")
+	mig := fs.Int("migration", 0, "walk the chain of the k-th migration span (1-based)")
 	span := fs.Int64("span", -1, "walk the chain of the span with this ID")
-	fs.Parse(args)
-	d := loadDump(*in)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *span < 0 && *mig == 0 {
+		fmt.Fprintln(stderr, "blxray chain: pass -migration K or -span ID")
+		return 2
+	}
+	d, err := loadDump(*in, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "blxray chain:", err)
+		return 2
+	}
 	var s biglittle.XraySpan
 	switch {
 	case *span >= 0:
 		got, ok := d.Get(*span)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "blxray chain: span %d not in this dump\n", *span)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "blxray chain: span %d not in this dump\n", *span)
+			return 1
 		}
 		s = got
-	case *mig >= 1:
+	default:
 		migs := d.ByKind(biglittle.XrayKindMigration)
-		if *mig > len(migs) {
-			fmt.Fprintf(os.Stderr, "blxray chain: dump has %d migration spans, asked for #%d\n", len(migs), *mig)
-			os.Exit(1)
+		if *mig < 1 || *mig > len(migs) {
+			fmt.Fprintf(stderr, "blxray chain: dump has %d migration spans, asked for #%d (migrations are 1-based)\n",
+				len(migs), *mig)
+			return 1
 		}
 		s = migs[*mig-1]
-	default:
-		fmt.Fprintln(os.Stderr, "blxray chain: pass -migration K or -span ID")
-		os.Exit(2)
 	}
-	printChain(d, s)
+	printChain(stdout, d, s)
+	return 0
 }

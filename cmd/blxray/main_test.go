@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"biglittle"
+)
+
+// dumpFile records a short run's decisions and writes the dump to a temp
+// file, shared by every CLI test in this file.
+func dumpFile(t *testing.T) string {
+	t.Helper()
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 1 * biglittle.Second
+	xr := biglittle.NewXray()
+	xr.MaxSpans = -1
+	cfg.Xray = xr
+	biglittle.Run(cfg)
+	data, err := xr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestLs(t *testing.T) {
+	in := dumpFile(t)
+	code, out, errb := runCmd(t, "", "ls", "-in", in)
+	if code != 0 || out == "" {
+		t.Fatalf("ls exit = %d, out %q", code, out)
+	}
+	if !strings.Contains(errb, "spans") {
+		t.Fatalf("ls did not report span count: %q", errb)
+	}
+	code, out, _ = runCmd(t, "", "ls", "-in", in, "-kind", "migration")
+	if code != 0 {
+		t.Fatalf("ls -kind migration exit = %d", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line != "" && !strings.Contains(line, "migration") {
+			t.Fatalf("kind filter leaked non-migration line: %q", line)
+		}
+	}
+}
+
+func TestLsUnknownKind(t *testing.T) {
+	code, _, errb := runCmd(t, "", "ls", "-in", dumpFile(t), "-kind", "teleport")
+	if code != 2 {
+		t.Fatalf("unknown kind exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "teleport") || !strings.Contains(errb, "migration") {
+		t.Fatalf("error does not name the bad kind and the vocabulary: %q", errb)
+	}
+	if strings.Count(strings.TrimSpace(errb), "\n") != 0 {
+		t.Fatalf("want a one-line error, got:\n%s", errb)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	in := dumpFile(t)
+	// Find a real task name from the dump itself.
+	data, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := biglittle.ParseXrayDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := taskNames(d)
+	if len(names) == 0 {
+		t.Fatal("dump has no task names")
+	}
+	code, out, _ := runCmd(t, "", "explain", "-in", in, "-task", names[0])
+	if code != 0 || !strings.Contains(out, "candidates:") {
+		t.Fatalf("explain exit = %d, out:\n%s", code, out)
+	}
+}
+
+func TestExplainUnknownTask(t *testing.T) {
+	code, out, errb := runCmd(t, "", "explain", "-in", dumpFile(t), "-task", "no.such.task")
+	if code == 0 {
+		t.Fatal("unknown task must exit non-zero")
+	}
+	if out != "" {
+		t.Fatalf("unknown task produced output: %q", out)
+	}
+	if !strings.Contains(errb, "no.such.task") || !strings.Contains(errb, "tasks seen") {
+		t.Fatalf("error does not name the task and the alternatives: %q", errb)
+	}
+}
+
+func TestExplainBadTime(t *testing.T) {
+	in := dumpFile(t)
+	for _, bad := range []string{"-5", "-140ms", "yesterday"} {
+		code, _, errb := runCmd(t, "", "explain", "-in", in, "-task", "x", "-t", bad)
+		if code != 2 {
+			t.Fatalf("-t %q exit = %d, want 2", bad, code)
+		}
+		if errb == "" {
+			t.Fatalf("-t %q: no error message", bad)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	in := dumpFile(t)
+	code, out, _ := runCmd(t, "", "chain", "-in", in, "-migration", "1")
+	if code != 0 || out == "" {
+		t.Fatalf("chain -migration 1 exit = %d, out %q", code, out)
+	}
+}
+
+func TestChainBadIDs(t *testing.T) {
+	in := dumpFile(t)
+	for _, args := range [][]string{
+		{"chain", "-in", in, "-migration", "999999"},
+		{"chain", "-in", in, "-migration", "-3"},
+		{"chain", "-in", in, "-span", "999999999"},
+	} {
+		code, out, errb := runCmd(t, "", args...)
+		if code == 0 {
+			t.Fatalf("args %v: must exit non-zero", args)
+		}
+		if out != "" {
+			t.Fatalf("args %v: produced output %q", args, out)
+		}
+		if errb == "" || strings.Count(strings.TrimSpace(errb), "\n") != 0 {
+			t.Fatalf("args %v: want a one-line error, got %q", args, errb)
+		}
+	}
+	if code, _, _ := runCmd(t, "", "chain", "-in", in); code != 2 {
+		t.Fatal("chain with neither -migration nor -span must exit 2")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"warp"},
+		{"explain", "-in", "x"}, // missing -task, before any file I/O
+	} {
+		code, _, errb := runCmd(t, "", args...)
+		if code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+		if errb == "" {
+			t.Errorf("args %v: no error on stderr", args)
+		}
+	}
+	if code, _, errb := runCmd(t, "", "ls", "-in", filepath.Join(t.TempDir(), "missing.json")); code != 2 || errb == "" {
+		t.Errorf("missing file: exit = %d, errb %q", code, errb)
+	}
+	if code, _, errb := runCmd(t, "", "ls"); code != 2 || !strings.Contains(errb, "empty dump") {
+		t.Errorf("empty stdin: exit = %d, errb %q", code, errb)
+	}
+}

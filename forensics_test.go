@@ -1,0 +1,184 @@
+package biglittle_test
+
+import (
+	"testing"
+
+	"biglittle"
+)
+
+// forensicsConfig is the seeded A/B pair base: the paper's bbench baseline
+// at a short duration (long enough to cross HMP migration activity).
+func forensicsConfig(t *testing.T) biglittle.Config {
+	t.Helper()
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 2 * biglittle.Second
+	return cfg
+}
+
+// Digest recording must be a pure observer: a digested run renders to the
+// exact bytes an undigested run does.
+func TestDigestPureObserver(t *testing.T) {
+	cfg := forensicsConfig(t)
+	plain := biglittle.RenderGolden(cfg.Cores, biglittle.Run(cfg))
+
+	cfg2 := forensicsConfig(t)
+	cfg2.Digest = biglittle.NewDigestRecorder()
+	cfg2.Digest.FullFrom = 0
+	cfg2.Digest.FullTo = cfg2.Duration // full-rate capture everywhere: worst case
+	digested := biglittle.RenderGolden(cfg2.Cores, biglittle.Run(cfg2))
+
+	if explain := biglittle.ExplainTextDiff(plain, digested); explain != "" {
+		t.Fatalf("digest recording changed simulator output: %s", explain)
+	}
+	if ch := cfg2.Digest.Chain(); len(ch.Digests) == 0 {
+		t.Fatal("recorder attached but recorded no windows")
+	}
+}
+
+// Two runs of the same config must produce identical digest chains — the
+// fingerprint property every cross-run comparison rests on.
+func TestDigestChainsDeterministic(t *testing.T) {
+	chain := func() biglittle.DigestChain {
+		cfg := forensicsConfig(t)
+		cfg.Digest = biglittle.NewDigestRecorder()
+		biglittle.Run(cfg)
+		return cfg.Digest.Chain()
+	}
+	c1, c2 := chain(), chain()
+	if i, err := biglittle.FirstDivergentWindow(c1, c2); err != nil || i != -1 {
+		t.Fatalf("same config diverged at window %d (%v)", i, err)
+	}
+	if c1.Fingerprint() != c2.Fingerprint() || len(c1.Digests) == 0 {
+		t.Fatalf("fingerprints differ or chain empty: %016x vs %016x (%d windows)",
+			c1.Fingerprint(), c2.Fingerprint(), len(c1.Digests))
+	}
+}
+
+func TestDiffRunsIdentical(t *testing.T) {
+	rep, err := biglittle.DiffRuns(forensicsConfig(t), forensicsConfig(t), biglittle.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatalf("identical configs reported divergent at window %d", rep.DivergentWindow)
+	}
+	if rep.FingerprintA != rep.FingerprintB {
+		t.Fatal("identical runs with different fingerprints")
+	}
+	if len(rep.ResultDeltas) != 0 {
+		t.Fatalf("identical runs with result deltas: %v", rep.ResultDeltas)
+	}
+}
+
+// The acceptance pair: two configs differing only in the HMP up-threshold.
+// DiffRuns must locate the exact first divergent decision, verified against
+// a hand-derived xray comparison and causal chain built directly from the
+// raw dumps — no delta machinery involved on the "hand" side.
+func TestDiffRunsFindsHMPThresholdDivergence(t *testing.T) {
+	a := forensicsConfig(t)
+	b := forensicsConfig(t)
+	b.Sched.UpThreshold = 350
+
+	rep, err := biglittle.DiffRuns(a, b, biglittle.DiffOptions{
+		Tol: biglittle.DiffTolerance{Rel: 1e-12}, LabelA: "up=700", LabelB: "up=350"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical {
+		t.Fatal("threshold change produced identical runs")
+	}
+	if rep.DivergentWindow < 0 || rep.SpanIndex < 0 {
+		t.Fatalf("divergence not located: window %d, span %d", rep.DivergentWindow, rep.SpanIndex)
+	}
+
+	// Hand-derive the first divergent decision from scratch: run both sides
+	// with an unbounded tracer and scan the streams manually.
+	trace := func(cfg biglittle.Config) *biglittle.XrayDump {
+		xr := biglittle.NewXray()
+		xr.MaxSpans = -1
+		cfg.Xray = xr
+		biglittle.Run(cfg)
+		d := xr.Dump()
+		return &d
+	}
+	da, db := trace(a), trace(b)
+	hand := -1
+	n := len(da.Spans)
+	if len(db.Spans) < n {
+		n = len(db.Spans)
+	}
+	for i := 0; i < n; i++ {
+		if !da.Spans[i].SameDecision(db.Spans[i]) {
+			hand = i
+			break
+		}
+	}
+	if hand < 0 && len(da.Spans) != len(db.Spans) {
+		hand = n
+	}
+	if hand < 0 {
+		t.Fatal("hand scan found no decision divergence")
+	}
+	if rep.SpanIndex != hand {
+		t.Fatalf("DiffRuns span index %d != hand-derived %d", rep.SpanIndex, hand)
+	}
+	if rep.SpanA == nil || hand >= len(da.Spans) {
+		t.Fatal("side A has no span at the divergence index")
+	}
+	hs := da.Spans[hand]
+	if !rep.SpanA.SameDecision(hs) || rep.SpanA.ID != hs.ID {
+		t.Fatalf("reported span %+v != hand-derived %+v", rep.SpanA, hs)
+	}
+
+	// The divergent decision cannot postdate the divergent state window:
+	// state divergence is caused by a decision at or before it.
+	if rep.SpanA.At >= rep.WindowEnd {
+		t.Fatalf("divergent decision at %v after window end %v", rep.SpanA.At, rep.WindowEnd)
+	}
+
+	// Hand-derive the causal chain by walking raw parent links.
+	var handChain []int64
+	for id := hs.ID; id >= 0; {
+		s, ok := da.Get(id)
+		if !ok {
+			break
+		}
+		handChain = append([]int64{s.ID}, handChain...)
+		id = s.Parent
+	}
+	if len(rep.ChainA) != len(handChain) {
+		t.Fatalf("chain length %d != hand-derived %d", len(rep.ChainA), len(handChain))
+	}
+	for i, s := range rep.ChainA {
+		if s.ID != handChain[i] {
+			t.Fatalf("chain[%d] = span %d, hand-derived %d", i, s.ID, handChain[i])
+		}
+	}
+
+	// The two sides disagreed on the threshold input, and the end metrics
+	// moved: both must be visible in the report.
+	if len(biglittle.SignificantDeltas(rep.ResultDeltas)) == 0 {
+		t.Fatal("no significant metric deltas followed the divergence")
+	}
+	if got := rep.Render(); got == "" || len(got) < 100 {
+		t.Fatalf("render too short: %q", got)
+	}
+}
+
+func TestDiffRunsRejectsBadInputs(t *testing.T) {
+	a := forensicsConfig(t)
+	b := forensicsConfig(t)
+	b.Duration = biglittle.Second
+	if _, err := biglittle.DiffRuns(a, b, biglittle.DiffOptions{}); err == nil {
+		t.Fatal("unequal durations must error")
+	}
+	c := forensicsConfig(t)
+	c.Xray = biglittle.NewXray()
+	if _, err := biglittle.DiffRuns(c, forensicsConfig(t), biglittle.DiffOptions{}); err == nil {
+		t.Fatal("config with a caller observer must error")
+	}
+}

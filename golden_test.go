@@ -17,33 +17,13 @@ import (
 // corpus with `make golden-update` and the diff documents exactly what moved.
 var updateGolden = flag.Bool("golden-update", false, "rewrite testdata/golden from current simulator output")
 
-const goldenDur = 4 * biglittle.Second
+// goldenDur and goldenRender live in the library (GoldenDuration,
+// RenderGolden) so `bldiff golden` explains corpus breaks with the exact
+// same renderer this test pins.
+const goldenDur = biglittle.GoldenDuration
 
-// goldenRender is a compact, fully deterministic view of one result. It
-// prints through %v/%.3f only — no maps, no pointers — so equal results
-// always render to equal bytes.
 func goldenRender(cc biglittle.CoreConfig, r biglittle.Result) string {
-	var b strings.Builder
-	perf := fmt.Sprintf("fps=%.3f min=%.3f frames=%d", r.AvgFPS, r.MinFPS, r.Frames)
-	if r.Metric == biglittle.Latency {
-		perf = fmt.Sprintf("lat=%v worst=%v n=%d", r.MeanLatency, r.WorstLatency, r.Interactions)
-	}
-	fmt.Fprintf(&b, "%v: %s power=%.3fmW energy=%.3fmJ work=%.3fGc mig=%d\n",
-		cc, perf, r.AvgPowerMW, r.EnergyMJ, r.TotalWorkGc, r.HMPMigrations)
-	fmt.Fprintf(&b, "  tlp=%.4f idle=%.3f%% littleonly=%.3f%% big=%.3f%% lutil=%.4f butil=%.4f\n",
-		r.TLP.TLP, r.TLP.IdlePct, r.TLP.LittleOnlyPct, r.TLP.BigPct, r.AvgLittleUtil, r.AvgBigUtil)
-	fmt.Fprintf(&b, "  eff=[%.3f %.3f %.3f %.3f %.3f %.3f]\n",
-		r.Eff[0], r.Eff[1], r.Eff[2], r.Eff[3], r.Eff[4], r.Eff[5])
-	b.WriteString("  lres=")
-	for i, v := range r.LittleResidency {
-		fmt.Fprintf(&b, "%d:%.2f ", r.LittleFreqs[i], v)
-	}
-	b.WriteString("\n  bres=")
-	for i, v := range r.BigResidency {
-		fmt.Fprintf(&b, "%d:%.2f ", r.BigFreqs[i], v)
-	}
-	b.WriteString("\n")
-	return b.String()
+	return biglittle.RenderGolden(cc, r)
 }
 
 func TestGoldenMaster(t *testing.T) {
@@ -84,23 +64,9 @@ func TestGoldenMaster(t *testing.T) {
 			if err != nil {
 				t.Fatalf("no golden file for %s (regenerate with `make golden-update`): %v", app.Name, err)
 			}
-			if string(want) == got {
-				return
-			}
-			wantLines := strings.Split(string(want), "\n")
-			gotLines := strings.Split(got, "\n")
-			for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
-				w, g := "", ""
-				if i < len(wantLines) {
-					w = wantLines[i]
-				}
-				if i < len(gotLines) {
-					g = gotLines[i]
-				}
-				if w != g {
-					t.Fatalf("golden mismatch for %s at line %d:\n  golden:  %s\n  current: %s\n(if the model change is intentional, run `make golden-update` and commit the diff)",
-						app.Name, i+1, w, g)
-				}
+			if explain := biglittle.ExplainTextDiff(string(want), got); explain != "" {
+				t.Fatalf("golden mismatch for %s: %s\n(if the model change is intentional, run `make golden-update` and commit the diff; `bldiff run` isolates the first divergent decision between two configs)",
+					app.Name, explain)
 			}
 		})
 	}

@@ -16,8 +16,10 @@ import (
 
 	"biglittle/internal/analysis"
 	"biglittle/internal/apps"
+	"biglittle/internal/core"
 	"biglittle/internal/event"
 	"biglittle/internal/lab"
+	"biglittle/internal/platform"
 )
 
 // Experiment bundles the flag values shared by the experiment commands.
@@ -128,4 +130,86 @@ func PrintLabStats(w io.Writer, r *lab.Runner, elapsed time.Duration) {
 	if r.Check {
 		fmt.Fprintf(w, "lab: audit: %d runs verified, %d failed\n", s.Audited, s.AuditFailures)
 	}
+}
+
+// ApplyOverrides applies a comma-separated key=value override list to a run
+// configuration — the vocabulary bldiff's -a/-b flags use to describe the
+// two sides of a comparison ("up=350", "governor=ondemand,sample-ms=60").
+// Unknown keys and unparseable values are errors listing the vocabulary, so
+// a typo can never silently diff a config against itself.
+func ApplyOverrides(cfg *core.Config, spec string) error {
+	const known = "up, down, halflife-ms, tick-ms, tiny-wake-load, sample-ms, target-load, gov-down, governor, scheduler, cores, seed"
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("bad override %q (want key=value; keys: %s)", part, known)
+		}
+		atoi := func() (int, error) {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, fmt.Errorf("override %s: bad value %q: %v", k, v, err)
+			}
+			return n, nil
+		}
+		var err error
+		switch k {
+		case "up":
+			cfg.Sched.UpThreshold, err = atoi()
+		case "down":
+			cfg.Sched.DownThreshold, err = atoi()
+		case "halflife-ms":
+			cfg.Sched.HalfLifeMs, err = atoi()
+		case "tick-ms":
+			cfg.Sched.TickMs, err = atoi()
+		case "tiny-wake-load":
+			cfg.Sched.TinyWakeLoad, err = atoi()
+		case "sample-ms":
+			cfg.Gov.SampleMs, err = atoi()
+		case "target-load":
+			cfg.Gov.TargetLoad, err = atoi()
+		case "gov-down":
+			cfg.Gov.DownThreshold, err = atoi()
+		case "governor":
+			cfg.Governor, err = parseGovernor(v)
+		case "scheduler":
+			cfg.Scheduler, err = parseScheduler(v)
+		case "cores":
+			cfg.Cores, err = platform.ParseCoreConfig(v)
+		case "seed":
+			var n int
+			if n, err = atoi(); err == nil {
+				cfg.Seed = int64(n)
+			}
+		default:
+			return fmt.Errorf("unknown override key %q (keys: %s)", k, known)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseGovernor(s string) (core.GovernorKind, error) {
+	for _, k := range []core.GovernorKind{core.Interactive, core.Performance,
+		core.Powersave, core.Userspace, core.Ondemand, core.Conservative, core.PAST} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown governor %q (want interactive, performance, powersave, userspace, ondemand, conservative, or past)", s)
+}
+
+func parseScheduler(s string) (core.SchedulerKind, error) {
+	for _, k := range []core.SchedulerKind{core.HMP, core.EfficiencyBased,
+		core.ParallelismAware, core.EAS} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want hmp, efficiency, parallelism, or eas)", s)
 }

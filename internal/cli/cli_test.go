@@ -2,8 +2,12 @@ package cli
 
 import (
 	"flag"
+	"strings"
 	"testing"
 	"time"
+
+	"biglittle/internal/apps"
+	"biglittle/internal/core"
 )
 
 func TestIntsStrict(t *testing.T) {
@@ -60,5 +64,47 @@ func TestRegisterExperimentAndRunner(t *testing.T) {
 	r2, err := e.Runner()
 	if err != nil || r2.Cache != nil {
 		t.Fatalf("-no-cache runner = %+v, %v; want nil cache", r2, err)
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	app, err := apps.ByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(app)
+	if err := ApplyOverrides(&cfg, "up=350, down=128, governor=ondemand, sample-ms=60, cores=L2+B4, seed=7"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sched.UpThreshold != 350 || cfg.Sched.DownThreshold != 128 {
+		t.Fatalf("thresholds = %d/%d", cfg.Sched.UpThreshold, cfg.Sched.DownThreshold)
+	}
+	if cfg.Governor != core.Ondemand || cfg.Gov.SampleMs != 60 {
+		t.Fatalf("governor = %v sample=%d", cfg.Governor, cfg.Gov.SampleMs)
+	}
+	if cfg.Cores.Little != 2 || cfg.Cores.Big != 4 {
+		t.Fatalf("cores = %+v", cfg.Cores)
+	}
+	if cfg.Seed != 7 {
+		t.Fatalf("seed = %d", cfg.Seed)
+	}
+	// Empty spec is a no-op.
+	before := cfg.Sched
+	if err := ApplyOverrides(&cfg, ""); err != nil || cfg.Sched != before {
+		t.Fatalf("empty spec changed the config or errored: %v", err)
+	}
+}
+
+func TestApplyOverridesErrors(t *testing.T) {
+	app, _ := apps.ByName("bbench")
+	for _, bad := range []string{"up", "bogus=1", "up=abc", "governor=warp", "scheduler=warp", "cores=XYZ"} {
+		cfg := core.DefaultConfig(app)
+		if err := ApplyOverrides(&cfg, bad); err == nil {
+			t.Errorf("override %q did not error", bad)
+		}
+	}
+	cfg := core.DefaultConfig(app)
+	if err := ApplyOverrides(&cfg, "bogus=1"); err == nil || !strings.Contains(err.Error(), "governor") {
+		t.Errorf("unknown-key error should list the vocabulary: %v", err)
 	}
 }

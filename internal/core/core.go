@@ -12,6 +12,7 @@ import (
 
 	"biglittle/internal/altsched"
 	"biglittle/internal/apps"
+	"biglittle/internal/delta"
 	"biglittle/internal/event"
 	"biglittle/internal/governor"
 	"biglittle/internal/metrics"
@@ -163,6 +164,13 @@ type Config struct {
 	// totals. Nil (the default) disables auditing at near-zero cost. The
 	// auditor is a pure observer: an audited run produces identical results.
 	Check Checker
+
+	// Digest, when non-nil, folds a rolling hash of simulator state into
+	// chained per-window digests at every scheduler tick (see
+	// internal/delta): the run's fingerprint, and the substrate the
+	// first-divergence finder bisects when two configs are compared. Like
+	// the other observers it is pure and nil-disabled at zero cost.
+	Digest *delta.Recorder
 }
 
 // Checker is the runtime invariant auditor hook. *check.Auditor implements
@@ -367,6 +375,11 @@ func Run(cfg Config) Result {
 		therm.Xray = cfg.Xray
 		therm.Start()
 	}
+
+	// The digest recorder attaches last among the tick observers so its fold
+	// sees the run fully assembled (thermal model included) and runs after
+	// any hooks the subsystems above installed.
+	cfg.Digest.Attach(sys, sampler, therm, cfg.Duration)
 
 	if cfg.OnSystem != nil {
 		cfg.OnSystem(sys)

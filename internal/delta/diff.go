@@ -1,0 +1,385 @@
+package delta
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+
+	"biglittle/internal/profile"
+	"biglittle/internal/xray"
+)
+
+// Tolerance marks when a numeric difference is significant: |a-b| must
+// exceed both Abs and Rel*max(|a|,|b|). The zero value means exact — any
+// difference is significant.
+type Tolerance struct {
+	Abs float64
+	Rel float64
+}
+
+func (t Tolerance) significant(a, b float64) bool {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return false
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d > t.Abs && d > t.Rel*m
+}
+
+// FieldDelta is one differing field between two structurally diffed values.
+type FieldDelta struct {
+	// Path locates the field, e.g. "TaskStats[2].EnergyMJ" or
+	// "Profile.Tasks[br.layout].RunBigNs".
+	Path string `json:"path"`
+	// A and B render each side's value ("<absent>" for one-sided entries).
+	A string `json:"a"`
+	B string `json:"b"`
+	// Significant is false only for numeric differences inside tolerance.
+	Significant bool `json:"significant"`
+}
+
+func (d FieldDelta) String() string {
+	mark := ""
+	if !d.Significant {
+		mark = "  (within tolerance)"
+	}
+	return fmt.Sprintf("%s: %s -> %s%s", d.Path, d.A, d.B, mark)
+}
+
+// Diff walks two values of the same type and returns every differing exported
+// field, depth-first in field order, with numeric differences marked for
+// significance against tol. Slices and arrays align by index (length
+// differences report a ".len" delta and extra elements as one-sided), maps by
+// the sorted union of keys. Unexported fields, funcs, and channels are
+// skipped. Diff is the structural core reused by result diffing, lab audit
+// mismatch reports, and the bldiff subcommands.
+func Diff(a, b any, tol Tolerance) []FieldDelta {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	var out []FieldDelta
+	if !va.IsValid() || !vb.IsValid() || va.Type() != vb.Type() {
+		if fmt.Sprintf("%T", a) != fmt.Sprintf("%T", b) {
+			return []FieldDelta{{Path: "(type)", A: fmt.Sprintf("%T", a), B: fmt.Sprintf("%T", b), Significant: true}}
+		}
+		return nil
+	}
+	walk("", va, vb, tol, &out)
+	return out
+}
+
+// Significant filters ds down to the significant deltas.
+func Significant(ds []FieldDelta) []FieldDelta {
+	var out []FieldDelta
+	for _, d := range ds {
+		if d.Significant {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Summarize renders up to max deltas one per line (all of them when max <= 0),
+// with a trailing "... and N more" when truncated. Empty input renders as
+// "(no differences)".
+func Summarize(ds []FieldDelta, max int) string {
+	if len(ds) == 0 {
+		return "(no differences)"
+	}
+	n := len(ds)
+	if max > 0 && n > max {
+		n = max
+	}
+	var b strings.Builder
+	for _, d := range ds[:n] {
+		fmt.Fprintf(&b, "  %s\n", d.String())
+	}
+	if n < len(ds) {
+		fmt.Fprintf(&b, "  ... and %d more\n", len(ds)-n)
+	}
+	return b.String()
+}
+
+const absent = "<absent>"
+
+func join(path, field string) string {
+	if path == "" {
+		return field
+	}
+	return path + "." + field
+}
+
+func render(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		return fmt.Sprintf("%.6g", v.Float())
+	case reflect.String:
+		return fmt.Sprintf("%q", v.String())
+	}
+	return fmt.Sprintf("%v", v.Interface())
+}
+
+func walk(path string, a, b reflect.Value, tol Tolerance, out *[]FieldDelta) {
+	switch a.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		switch {
+		case a.IsNil() && b.IsNil():
+		case a.IsNil():
+			*out = append(*out, FieldDelta{Path: path, A: "<nil>", B: render(b.Elem()), Significant: true})
+		case b.IsNil():
+			*out = append(*out, FieldDelta{Path: path, A: render(a.Elem()), B: "<nil>", Significant: true})
+		case a.Kind() == reflect.Interface && a.Elem().Type() != b.Elem().Type():
+			*out = append(*out, FieldDelta{Path: path, A: a.Elem().Type().String(), B: b.Elem().Type().String(), Significant: true})
+		default:
+			walk(path, a.Elem(), b.Elem(), tol, out)
+		}
+	case reflect.Struct:
+		t := a.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			walk(join(path, f.Name), a.Field(i), b.Field(i), tol, out)
+		}
+	case reflect.Slice, reflect.Array:
+		n := a.Len()
+		if bl := b.Len(); bl != n {
+			*out = append(*out, FieldDelta{Path: path + ".len", A: fmt.Sprint(n), B: fmt.Sprint(bl), Significant: true})
+			if bl < n {
+				n = bl
+			}
+		}
+		for i := 0; i < n; i++ {
+			walk(fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i), tol, out)
+		}
+		for i := n; i < a.Len(); i++ {
+			*out = append(*out, FieldDelta{Path: fmt.Sprintf("%s[%d]", path, i), A: render(a.Index(i)), B: absent, Significant: true})
+		}
+		for i := n; i < b.Len(); i++ {
+			*out = append(*out, FieldDelta{Path: fmt.Sprintf("%s[%d]", path, i), A: absent, B: render(b.Index(i)), Significant: true})
+		}
+	case reflect.Map:
+		keys := map[string]reflect.Value{}
+		var names []string
+		for _, k := range a.MapKeys() {
+			s := fmt.Sprintf("%v", k.Interface())
+			keys[s] = k
+			names = append(names, s)
+		}
+		for _, k := range b.MapKeys() {
+			s := fmt.Sprintf("%v", k.Interface())
+			if _, ok := keys[s]; !ok {
+				keys[s] = k
+				names = append(names, s)
+			}
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			k := keys[s]
+			av, bv := a.MapIndex(k), b.MapIndex(k)
+			p := fmt.Sprintf("%s[%s]", path, s)
+			switch {
+			case !av.IsValid():
+				*out = append(*out, FieldDelta{Path: p, A: absent, B: render(bv), Significant: true})
+			case !bv.IsValid():
+				*out = append(*out, FieldDelta{Path: p, A: render(av), B: absent, Significant: true})
+			default:
+				walk(p, av, bv, tol, out)
+			}
+		}
+	case reflect.Float64, reflect.Float32:
+		fa, fb := a.Float(), b.Float()
+		if math.Float64bits(fa) == math.Float64bits(fb) {
+			return
+		}
+		*out = append(*out, FieldDelta{Path: path, A: render(a), B: render(b), Significant: tol.significant(fa, fb)})
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if a.Int() != b.Int() {
+			*out = append(*out, FieldDelta{Path: path, A: render(a), B: render(b),
+				Significant: tol.significant(float64(a.Int()), float64(b.Int()))})
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if a.Uint() != b.Uint() {
+			*out = append(*out, FieldDelta{Path: path, A: render(a), B: render(b),
+				Significant: tol.significant(float64(a.Uint()), float64(b.Uint()))})
+		}
+	case reflect.Bool:
+		if a.Bool() != b.Bool() {
+			*out = append(*out, FieldDelta{Path: path, A: render(a), B: render(b), Significant: true})
+		}
+	case reflect.String:
+		if a.String() != b.String() {
+			*out = append(*out, FieldDelta{Path: path, A: render(a), B: render(b), Significant: true})
+		}
+	case reflect.Func, reflect.Chan, reflect.UnsafePointer:
+		// Not comparable state; skip.
+	default:
+		if fmt.Sprintf("%v", a.Interface()) != fmt.Sprintf("%v", b.Interface()) {
+			*out = append(*out, FieldDelta{Path: path, A: render(a), B: render(b), Significant: true})
+		}
+	}
+}
+
+// FirstDivergentSpan aligns two xray span streams by index and returns the
+// index of the first pair that is not the same decision (xray.Span
+// SameDecision: identity and provenance ignored). When one stream is a
+// proper prefix of the other, the divergence index is the shorter length.
+// Returns -1, false when the streams record identical decision sequences.
+func FirstDivergentSpan(a, b []xray.Span) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !a[i].SameDecision(b[i]) {
+			return i, true
+		}
+	}
+	if len(a) != len(b) {
+		return n, true
+	}
+	return -1, false
+}
+
+// DiffSpanProvenance reports the provenance fields SameDecision ignores —
+// the inputs and candidate tables — for an aligned span pair, so a forensic
+// report can show *why* the same decision point went differently. Inputs
+// align by name; candidates by core ID.
+func DiffSpanProvenance(a, b xray.Span, tol Tolerance) []FieldDelta {
+	var out []FieldDelta
+	ia := map[string]float64{}
+	var names []string
+	for _, in := range a.Inputs {
+		ia[in.Name] = in.Value
+		names = append(names, in.Name)
+	}
+	ib := map[string]float64{}
+	for _, in := range b.Inputs {
+		if _, ok := ia[in.Name]; !ok {
+			names = append(names, in.Name)
+		}
+		ib[in.Name] = in.Value
+	}
+	for _, n := range names {
+		av, aok := ia[n]
+		bv, bok := ib[n]
+		p := "inputs[" + n + "]"
+		switch {
+		case !aok:
+			out = append(out, FieldDelta{Path: p, A: absent, B: fmt.Sprintf("%.6g", bv), Significant: true})
+		case !bok:
+			out = append(out, FieldDelta{Path: p, A: fmt.Sprintf("%.6g", av), B: absent, Significant: true})
+		case math.Float64bits(av) != math.Float64bits(bv):
+			out = append(out, FieldDelta{Path: p, A: fmt.Sprintf("%.6g", av), B: fmt.Sprintf("%.6g", bv),
+				Significant: tol.significant(av, bv)})
+		}
+	}
+	ca := map[int]xray.Candidate{}
+	var cores []int
+	for _, c := range a.Candidates {
+		ca[c.Core] = c
+		cores = append(cores, c.Core)
+	}
+	cb := map[int]xray.Candidate{}
+	for _, c := range b.Candidates {
+		if _, ok := ca[c.Core]; !ok {
+			cores = append(cores, c.Core)
+		}
+		cb[c.Core] = c
+	}
+	sort.Ints(cores)
+	for _, id := range cores {
+		av, aok := ca[id]
+		bv, bok := cb[id]
+		p := fmt.Sprintf("candidates[cpu%d]", id)
+		switch {
+		case !aok:
+			out = append(out, FieldDelta{Path: p, A: absent, B: fmt.Sprintf("%+v", bv), Significant: true})
+		case !bok:
+			out = append(out, FieldDelta{Path: p, A: fmt.Sprintf("%+v", av), B: absent, Significant: true})
+		default:
+			for _, d := range Diff(av, bv, tol) {
+				d.Path = p + "." + d.Path
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// DiffProfiles diffs two attribution snapshots with tasks aligned by name
+// (snapshot task order is energy-sorted, so index alignment would misreport
+// reordered tables as field churn). Scalar snapshot fields diff structurally.
+func DiffProfiles(a, b profile.Snapshot, tol Tolerance) []FieldDelta {
+	sa, sb := a, b
+	sa.Tasks, sb.Tasks = nil, nil
+	out := Diff(sa, sb, tol)
+	var names []string
+	seen := map[string]bool{}
+	for _, t := range a.Tasks {
+		names = append(names, t.Name)
+		seen[t.Name] = true
+	}
+	for _, t := range b.Tasks {
+		if !seen[t.Name] {
+			names = append(names, t.Name)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ta, aok := a.Task(n)
+		tb, bok := b.Task(n)
+		p := fmt.Sprintf("Tasks[%s]", n)
+		switch {
+		case !aok:
+			out = append(out, FieldDelta{Path: p, A: absent, B: "(present)", Significant: true})
+		case !bok:
+			out = append(out, FieldDelta{Path: p, A: "(present)", B: absent, Significant: true})
+		default:
+			for _, d := range Diff(ta, tb, tol) {
+				d.Path = p + "." + d.Path
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// ExplainTextDiff locates the first divergence between two rendered texts
+// (golden-master files, report output) and names it at line and field
+// granularity: "first divergence at line 17, field 3: ...". Returns "" when
+// the texts are identical.
+func ExplainTextDiff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] == gl[i] {
+			continue
+		}
+		wf, gf := strings.Fields(wl[i]), strings.Fields(gl[i])
+		field := ""
+		m := len(wf)
+		if len(gf) < m {
+			m = len(gf)
+		}
+		for j := 0; j < m; j++ {
+			if wf[j] != gf[j] {
+				field = fmt.Sprintf(", field %d: %q -> %q", j+1, wf[j], gf[j])
+				break
+			}
+		}
+		if field == "" && len(wf) != len(gf) {
+			field = fmt.Sprintf(", field count %d -> %d", len(wf), len(gf))
+		}
+		return fmt.Sprintf("first divergence at line %d%s\n  want: %s\n  got:  %s", i+1, field, wl[i], gl[i])
+	}
+	return fmt.Sprintf("first divergence at line %d: line count %d -> %d", n+1, len(wl), len(gl))
+}

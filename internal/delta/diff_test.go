@@ -1,0 +1,197 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"biglittle/internal/event"
+	"biglittle/internal/profile"
+	"biglittle/internal/xray"
+)
+
+type inner struct {
+	X float64
+	s string // unexported: must be skipped
+}
+
+type outer struct {
+	Name  string
+	N     int
+	On    bool
+	Inner inner
+	List  []int
+	M     map[string]int
+	Ptr   *inner
+	Skip  func()
+}
+
+func TestDiffStructural(t *testing.T) {
+	a := outer{Name: "a", N: 1, On: true, Inner: inner{X: 1.0, s: "hidden"},
+		List: []int{1, 2, 3}, M: map[string]int{"k": 1, "only_a": 5}, Ptr: &inner{X: 2}}
+	b := outer{Name: "b", N: 2, On: false, Inner: inner{X: 1.5, s: "other"},
+		List: []int{1, 9}, M: map[string]int{"k": 2, "only_b": 7}, Ptr: nil}
+	ds := Diff(a, b, Tolerance{})
+	want := map[string]bool{
+		"Name": false, "N": false, "On": false, "Inner.X": false,
+		"List.len": false, "List[1]": false, "List[2]": false,
+		"M[k]": false, "M[only_a]": false, "M[only_b]": false, "Ptr": false,
+	}
+	for _, d := range ds {
+		if _, ok := want[d.Path]; !ok {
+			t.Errorf("unexpected delta %q", d.Path)
+			continue
+		}
+		want[d.Path] = true
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("missing delta %q", p)
+		}
+	}
+	// Unexported field differences must not appear.
+	for _, d := range ds {
+		if strings.Contains(d.Path, ".s") {
+			t.Errorf("unexported field diffed: %q", d.Path)
+		}
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := outer{Name: "x", List: []int{1}, M: map[string]int{"k": 1}, Ptr: &inner{X: 3}}
+	if ds := Diff(a, a, Tolerance{}); len(ds) != 0 {
+		t.Fatalf("identical values produced %d deltas: %v", len(ds), ds)
+	}
+}
+
+func TestDiffTolerance(t *testing.T) {
+	type v struct{ E float64 }
+	ds := Diff(v{100.0}, v{100.0000001}, Tolerance{Rel: 1e-6})
+	if len(ds) != 1 {
+		t.Fatalf("deltas = %d, want 1", len(ds))
+	}
+	if ds[0].Significant {
+		t.Fatal("difference inside tolerance marked significant")
+	}
+	ds = Diff(v{100.0}, v{101.0}, Tolerance{Rel: 1e-6})
+	if len(ds) != 1 || !ds[0].Significant {
+		t.Fatal("difference outside tolerance not marked significant")
+	}
+	if got := len(Significant(ds)); got != 1 {
+		t.Fatalf("Significant filter = %d, want 1", got)
+	}
+}
+
+func TestDiffTypeMismatch(t *testing.T) {
+	ds := Diff(outer{}, inner{}, Tolerance{})
+	if len(ds) != 1 || ds[0].Path != "(type)" {
+		t.Fatalf("type mismatch deltas = %v", ds)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []FieldDelta{
+		{Path: "A", A: "1", B: "2", Significant: true},
+		{Path: "B", A: "3", B: "4", Significant: true},
+		{Path: "C", A: "5", B: "6", Significant: true},
+	}
+	s := Summarize(ds, 2)
+	if !strings.Contains(s, "A: 1 -> 2") || !strings.Contains(s, "... and 1 more") {
+		t.Fatalf("summary = %q", s)
+	}
+	if got := Summarize(nil, 5); got != "(no differences)" {
+		t.Fatalf("empty summary = %q", got)
+	}
+}
+
+func TestFirstDivergentSpan(t *testing.T) {
+	mk := func(at int, core int) xray.Span {
+		return xray.Span{At: event.Time(at) * event.Millisecond, Kind: xray.KindWake, Core: core, FromCore: -1, Cluster: -1, Task: 0}
+	}
+	a := []xray.Span{mk(1, 0), mk(2, 1), mk(3, 4)}
+	b := []xray.Span{mk(1, 0), mk(2, 1), mk(3, 5)}
+	if i, ok := FirstDivergentSpan(a, b); !ok || i != 2 {
+		t.Fatalf("divergence = %d,%v; want 2,true", i, ok)
+	}
+	if i, ok := FirstDivergentSpan(a, a); ok || i != -1 {
+		t.Fatalf("identical streams = %d,%v; want -1,false", i, ok)
+	}
+	// Prefix streams diverge at the shorter length.
+	if i, ok := FirstDivergentSpan(a, a[:2]); !ok || i != 2 {
+		t.Fatalf("prefix streams = %d,%v; want 2,true", i, ok)
+	}
+	// Identity and provenance must not count as divergence.
+	c := append([]xray.Span(nil), a...)
+	c[1].ID, c[1].Parent = 99, 42
+	c[1].Inputs = []xray.Input{{Name: "up_threshold", Value: 350}}
+	if i, ok := FirstDivergentSpan(a, c); ok {
+		t.Fatalf("identity/provenance-only change reported divergent at %d", i)
+	}
+}
+
+func TestDiffSpanProvenance(t *testing.T) {
+	a := xray.Span{
+		Inputs:     []xray.Input{{Name: "load", Value: 412}, {Name: "up_threshold", Value: 700}},
+		Candidates: []xray.Candidate{{Core: 0, QueueLen: 1}, {Core: 4, QueueLen: 0}},
+	}
+	b := xray.Span{
+		Inputs:     []xray.Input{{Name: "load", Value: 412}, {Name: "up_threshold", Value: 350}},
+		Candidates: []xray.Candidate{{Core: 0, QueueLen: 2}, {Core: 4, QueueLen: 0}},
+	}
+	ds := DiffSpanProvenance(a, b, Tolerance{})
+	byPath := map[string]FieldDelta{}
+	for _, d := range ds {
+		byPath[d.Path] = d
+	}
+	if d, ok := byPath["inputs[up_threshold]"]; !ok || d.A != "700" || d.B != "350" {
+		t.Fatalf("threshold input delta missing or wrong: %v", ds)
+	}
+	if _, ok := byPath["inputs[load]"]; ok {
+		t.Fatal("equal input reported as delta")
+	}
+	if _, ok := byPath["candidates[cpu0].QueueLen"]; !ok {
+		t.Fatalf("candidate queue delta missing: %v", ds)
+	}
+}
+
+func TestDiffProfilesAlignsByName(t *testing.T) {
+	a := profile.Snapshot{Tasks: []profile.TaskSnapshot{
+		{Name: "hot", EnergyMJ: 10}, {Name: "cold", EnergyMJ: 1},
+	}}
+	// Same tasks, reordered (energy flipped) plus one new task.
+	b := profile.Snapshot{Tasks: []profile.TaskSnapshot{
+		{Name: "cold", EnergyMJ: 12}, {Name: "hot", EnergyMJ: 10}, {Name: "new", EnergyMJ: 5},
+	}}
+	ds := DiffProfiles(a, b, Tolerance{})
+	var sawCold, sawNew bool
+	for _, d := range ds {
+		if strings.HasPrefix(d.Path, "Tasks[hot]") {
+			t.Errorf("unchanged task diffed (index misalignment?): %v", d)
+		}
+		if d.Path == "Tasks[cold].EnergyMJ" {
+			sawCold = true
+		}
+		if d.Path == "Tasks[new]" && d.A == "<absent>" {
+			sawNew = true
+		}
+	}
+	if !sawCold || !sawNew {
+		t.Fatalf("expected cold energy delta and one-sided new task; got %v", ds)
+	}
+}
+
+func TestExplainTextDiff(t *testing.T) {
+	want := "header\na b c\nfooter"
+	got := "header\na X c\nfooter"
+	s := ExplainTextDiff(want, got)
+	if !strings.Contains(s, "line 2") || !strings.Contains(s, "field 2") ||
+		!strings.Contains(s, `"b" -> "X"`) {
+		t.Fatalf("explanation = %q", s)
+	}
+	if ExplainTextDiff(want, want) != "" {
+		t.Fatal("identical texts explained as different")
+	}
+	s = ExplainTextDiff("a\nb", "a\nb\nc")
+	if !strings.Contains(s, "line count 2 -> 3") {
+		t.Fatalf("line-count explanation = %q", s)
+	}
+}

@@ -103,6 +103,7 @@ func (h Handle) Cancel() bool {
 type Engine struct {
 	now     Time
 	seq     uint64
+	fired   uint64
 	heap    []entry
 	nodes   []node
 	free    []int32
@@ -118,6 +119,15 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of scheduled events. Cancelled events are
 // removed immediately, so they never count.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Fired returns the number of events that have fired so far. Together with
+// Scheduled it fingerprints the engine's progress: two deterministic runs
+// that have processed the same event sequence report the same counters.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Scheduled returns the number of events ever scheduled (including ones
+// later cancelled; cancellation does not rewind the sequence counter).
+func (e *Engine) Scheduled() uint64 { return e.seq }
 
 // alloc takes a node from the free list, growing the slab when empty.
 func (e *Engine) alloc() int32 {
@@ -245,6 +255,7 @@ func (e *Engine) popMin() (Handler, Time) {
 	n := &e.nodes[id]
 	fn := n.fn
 	e.recycle(id, n)
+	e.fired++
 	return fn, root.at
 }
 

@@ -487,3 +487,28 @@ func BenchmarkEngineChurn(b *testing.B) {
 	}
 	e.RunAll()
 }
+
+func TestFiredScheduledCounters(t *testing.T) {
+	e := New()
+	if e.Fired() != 0 || e.Scheduled() != 0 {
+		t.Fatalf("fresh engine: Fired=%d Scheduled=%d, want 0/0", e.Fired(), e.Scheduled())
+	}
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	h := e.At(100, func(Time) {})
+	h.Cancel()
+	e.RunAll()
+	if e.Scheduled() != 6 {
+		t.Fatalf("Scheduled = %d, want 6 (cancellation must not rewind)", e.Scheduled())
+	}
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5 (cancelled events never fire)", e.Fired())
+	}
+	// Step is the same fire path.
+	e.At(200, func(Time) {})
+	e.Step()
+	if e.Fired() != 6 {
+		t.Fatalf("Fired after Step = %d, want 6", e.Fired())
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"biglittle/internal/check"
 	"biglittle/internal/core"
+	"biglittle/internal/delta"
 	"biglittle/internal/telemetry"
 )
 
@@ -420,8 +421,15 @@ func (r *Runner) auditCached(cfg core.Config, cached core.Result) error {
 	}
 	a, aerr := json.Marshal(cached)
 	b, berr := json.Marshal(fresh)
-	if aerr != nil || berr != nil || !bytes.Equal(a, b) {
-		return fmt.Errorf("lab: job %q cached result disagrees with fresh audited simulation", cfg.App.Name)
+	if aerr != nil || berr != nil {
+		return fmt.Errorf("lab: job %q: marshal for audit compare: %v / %v", cfg.App.Name, aerr, berr)
+	}
+	if !bytes.Equal(a, b) {
+		// Name exactly what moved rather than reporting an opaque byte
+		// mismatch: the structural diff walks both results field by field.
+		ds := delta.Diff(cached, fresh, delta.Tolerance{})
+		return fmt.Errorf("lab: job %q cached result disagrees with fresh audited simulation; %d field(s) differ (cached -> fresh):\n%s",
+			cfg.App.Name, len(ds), delta.Summarize(ds, 8))
 	}
 	return nil
 }

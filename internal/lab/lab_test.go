@@ -11,6 +11,7 @@ import (
 	"biglittle/internal/apps"
 	"biglittle/internal/check"
 	"biglittle/internal/core"
+	"biglittle/internal/delta"
 	"biglittle/internal/event"
 	"biglittle/internal/platform"
 	"biglittle/internal/sched"
@@ -77,6 +78,12 @@ func TestFingerprintUncacheable(t *testing.T) {
 	withHook.OnSystem = func(*sched.System) {}
 	if _, ok := Fingerprint(Job{Config: withHook}); ok {
 		t.Fatal("config with an OnSystem hook must not be cacheable")
+	}
+
+	withDigest := base
+	withDigest.Digest = &delta.Recorder{}
+	if _, ok := Fingerprint(Job{Config: withDigest}); ok {
+		t.Fatal("config with a digest recorder must not be cacheable")
 	}
 
 	unnamed := base
@@ -414,6 +421,10 @@ func TestAuditCatchesTamperedCache(t *testing.T) {
 		t.Fatal("audit accepted a tampered cache blob")
 	} else if !strings.Contains(err.Error(), "disagrees") {
 		t.Fatalf("unexpected audit error: %v", err)
+	} else if !strings.Contains(err.Error(), "EnergyMJ") {
+		// The structured delta summary must name exactly what moved, not
+		// just report an opaque byte mismatch.
+		t.Fatalf("audit error does not name the divergent field: %v", err)
 	}
 	if s := r.Stats(); s.AuditFailures != 1 {
 		t.Fatalf("stats = %+v, want 1 audit failure", s)

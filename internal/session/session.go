@@ -14,6 +14,7 @@ import (
 
 	"biglittle/internal/apps"
 	"biglittle/internal/battery"
+	"biglittle/internal/delta"
 	"biglittle/internal/event"
 	"biglittle/internal/governor"
 	"biglittle/internal/metrics"
@@ -64,6 +65,10 @@ type Config struct {
 	// Check, when non-nil, attaches an invariant auditor (see internal/check)
 	// that observes the whole session and reconciles its totals at the end.
 	Check Checker
+	// Digest, when non-nil, folds the session's state into chained
+	// per-window digests (see internal/delta) — the same cross-run
+	// fingerprint core.Run records, spanning every phase.
+	Digest *delta.Recorder
 }
 
 // Checker is the session-side view of an invariant auditor; *check.Auditor
@@ -204,6 +209,14 @@ func NewLive(cfg Config) *Live {
 		therm.Xray = cfg.Xray
 		therm.Start()
 	}
+
+	// As in core.Run, the digest recorder attaches last among the tick
+	// observers; the window default derives from the summed phase plan.
+	var total event.Time
+	for _, p := range cfg.Phases {
+		total += p.Duration
+	}
+	cfg.Digest.Attach(sys, sampler, therm, total)
 
 	l := &Live{Cfg: cfg, Eng: eng, Sys: sys, Sampler: sampler, therm: therm}
 	l.rngInit()

@@ -468,3 +468,25 @@ func (s Span) Line() string {
 	}
 	return fmt.Sprintf("#%-5d %-9s t=%-12v%s %s parent=%d", s.ID, s.Kind, s.At, who, s.Choice, s.Parent)
 }
+
+// SameDecision reports whether two spans record the same decision outcome:
+// same kind, time, subject, placement, and frequency change. Span identity
+// (ID, Parent) and provenance (Inputs, Candidates) are deliberately ignored —
+// two runs with different tunables legitimately record different threshold
+// inputs on every span, and candidate tables encode surrounding state; what
+// makes a decision *divergent* is the outcome going a different way. Cross-run
+// diffing (internal/delta) aligns span streams with this predicate and then
+// reports the ignored provenance fields of the first non-matching pair.
+func (s Span) SameDecision(o Span) bool {
+	return s.Kind == o.Kind &&
+		s.At == o.At &&
+		s.Task == o.Task &&
+		s.TaskName == o.TaskName &&
+		s.Core == o.Core &&
+		s.FromCore == o.FromCore &&
+		s.Cluster == o.Cluster &&
+		s.PrevMHz == o.PrevMHz &&
+		s.MHz == o.MHz &&
+		s.Choice == o.Choice &&
+		s.Reason == o.Reason
+}

@@ -176,3 +176,26 @@ func TestKindStrings(t *testing.T) {
 		t.Error("UnmarshalJSON accepted an unknown kind")
 	}
 }
+
+func TestSameDecision(t *testing.T) {
+	a := Span{ID: 3, Parent: 1, At: 5, Kind: KindWake, Task: 0, TaskName: "t",
+		Core: 4, FromCore: -1, Cluster: -1, Choice: "wake on cpu4",
+		Inputs: []Input{{Name: "up_threshold", Value: 700}}}
+	b := a
+	b.ID, b.Parent = 99, 42 // identity differs
+	b.Inputs = []Input{{Name: "up_threshold", Value: 350}}
+	b.Candidates = []Candidate{{Core: 4}} // provenance differs
+	if !a.SameDecision(b) {
+		t.Fatal("spans differing only in identity/provenance must be the same decision")
+	}
+	c := a
+	c.Core = 5
+	if a.SameDecision(c) {
+		t.Fatal("different destination core must not be the same decision")
+	}
+	d := a
+	d.At++
+	if a.SameDecision(d) {
+		t.Fatal("different time must not be the same decision")
+	}
+}
