@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke fleet-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -69,6 +69,35 @@ serve-smoke:
 		curl -fsS 127.0.0.1:9814/snapshot | grep -q '"tasks"' && ok=1; \
 		kill -INT $$pid; wait $$pid; \
 		[ $$ok -eq 1 ] && echo "serve-smoke: OK"
+
+# End-to-end smoke of the distributed lab: a coordinator-only blserve, two
+# blworker processes, and a small sweep routed through the fleet (-remote)
+# must (a) emit CSV byte-identical to the same sweep in-process, (b) have
+# actually executed on the fleet (nonzero "remote" in the lab stats), and
+# (c) leave the Prometheus endpoint reporting zero failed fleet jobs.
+# Teardown is SIGINT, so the graceful-drain path runs too.
+fleet-smoke:
+	go build -o /tmp/blserve ./cmd/blserve
+	go build -o /tmp/blworker ./cmd/blworker
+	go build -o /tmp/blsweep ./cmd/blsweep
+	w1=$$(mktemp -d); w2=$$(mktemp -d); \
+		/tmp/blserve -addr 127.0.0.1:9815 -phases none -fleet-no-cache & spid=$$!; \
+		sleep 1; \
+		/tmp/blworker -coordinator http://127.0.0.1:9815 -id w1 -cache-dir $$w1 & p1=$$!; \
+		/tmp/blworker -coordinator http://127.0.0.1:9815 -id w2 -cache-dir $$w2 & p2=$$!; \
+		/tmp/blsweep -param sample-ms -values 10,20,40,60 -app bbench -duration 2s -no-cache \
+			-remote http://127.0.0.1:9815 >/tmp/fleet-remote.csv 2>/tmp/fleet-remote.log; \
+		/tmp/blsweep -param sample-ms -values 10,20,40,60 -app bbench -duration 2s -no-cache \
+			>/tmp/fleet-local.csv 2>/dev/null; \
+		curl -fsS 127.0.0.1:9815/metrics > /tmp/fleet-metrics.txt; \
+		kill -INT $$p1 $$p2; wait $$p1 $$p2; \
+		kill -INT $$spid; wait $$spid; \
+		cat /tmp/fleet-remote.log; \
+		rm -rf $$w1 $$w2; \
+		cmp /tmp/fleet-remote.csv /tmp/fleet-local.csv || { echo "fleet-smoke: fleet and in-process sweeps differ" >&2; exit 1; }; \
+		grep -Eq '[1-9][0-9]* remote' /tmp/fleet-remote.log || { echo "fleet-smoke: sweep did not execute on the fleet" >&2; exit 1; }; \
+		grep -q '^biglittle_fleet_jobs_failed_total 0$$' /tmp/fleet-metrics.txt || { echo "fleet-smoke: fleet reported failed jobs" >&2; exit 1; }; \
+		echo "fleet-smoke: OK"
 
 # End-to-end smoke of the causal decision tracer: record a golden-config
 # run with -xray, then require blxray to reconstruct a placement decision

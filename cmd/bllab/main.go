@@ -1,5 +1,5 @@
 // Command bllab inspects and maintains the experiment result cache that
-// blreport, blsweep, and bltlp populate.
+// blreport, blsweep, and bltlp populate, and watches the distributed lab.
 //
 // Usage:
 //
@@ -8,20 +8,25 @@
 //	bllab [-cache-dir DIR] prune         # drop results from stale code versions
 //	bllab [-cache-dir DIR] invalidate [-app NAME] [-all]
 //	                                     # drop current-version results
+//	bllab fleet [-coordinator URL]       # fleet queue, leases, worker liveness
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"text/tabwriter"
+	"time"
 
+	"biglittle/internal/fleet"
 	"biglittle/internal/lab"
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bllab [-cache-dir DIR] [-v] <ls|stat|prune|invalidate> [-app NAME] [-all]")
+	fmt.Fprintln(os.Stderr, "       bllab fleet [-coordinator URL]")
 	flag.PrintDefaults()
 }
 
@@ -36,6 +41,12 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	if cmd == "fleet" {
+		// The fleet view talks to a coordinator, not to the local cache.
+		fleetCmd(flag.Args()[1:])
+		return
+	}
 
 	sub := flag.NewFlagSet("bllab "+cmd, flag.ExitOnError)
 	app := sub.String("app", "", "restrict invalidate to one app's results")
@@ -139,5 +150,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bllab: unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+}
+
+// fleetCmd renders a coordinator's queue/lease/worker snapshot: the
+// operator's answer to "is the fleet healthy and who is doing what".
+func fleetCmd(args []string) {
+	sub := flag.NewFlagSet("bllab fleet", flag.ExitOnError)
+	coordinator := sub.String("coordinator", "http://127.0.0.1:8377", "coordinator base URL (a blserve instance)")
+	sub.Parse(args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := &fleet.Client{Base: *coordinator}
+	s, err := c.Stats(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bllab:", err)
+		os.Exit(1)
+	}
+
+	state := "serving"
+	if s.Draining {
+		state = "DRAINING (no new leases)"
+	}
+	fmt.Printf("coordinator:  %s (%s)\n", *coordinator, state)
+	fmt.Printf("queue depth:  %d pending (%d held: %d leased, %d done, %d failed)\n",
+		s.QueueDepth, s.Jobs, s.Leased, s.Done, s.Failed)
+	fmt.Printf("throughput:   %.1f jobs/sec (last 10s)\n", s.JobsPerSec)
+	fmt.Printf("lifetime:     %d submitted, %d deduped, %d completed, %d failed, %d cache hits\n",
+		s.Submitted, s.Deduped, s.Completed, s.FailedJobs, s.CacheHits)
+	fmt.Printf("retries:      %d requeues, %d lease expiries, %d backpressured submissions\n",
+		s.Retries, s.LeaseExpiries, s.Backpressure)
+
+	if len(s.Leases) > 0 {
+		fmt.Println("\nactive leases:")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "LEASE\tJOB\tAPP\tWORKER\tATTEMPT\tAGE\tEXPIRES IN")
+		for _, l := range s.Leases {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%.1fs\t%.1fs\n",
+				l.Lease, l.Job, l.App, l.Worker, l.Attempt, l.AgeSec, l.TTLSec)
+		}
+		w.Flush()
+	}
+	if len(s.Workers) > 0 {
+		fmt.Println("\nworkers:")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ID\tLIVE\tACTIVE\tCOMPLETED\tFAILED\tLAST SEEN")
+		for _, wk := range s.Workers {
+			live := "yes"
+			if !wk.Live {
+				live = "NO"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.1fs ago\n",
+				wk.ID, live, wk.Active, wk.Completed, wk.Failed, wk.LastSeenSec)
+		}
+		w.Flush()
 	}
 }

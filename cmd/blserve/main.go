@@ -5,16 +5,25 @@
 // is paced against the wall clock (-speed) so dashboards see a live system
 // rather than an instant replay.
 //
+// blserve is also the fleet coordinator: it mounts the distributed-lab job
+// API (/fleet/...) next to the observability routes, so blworker processes
+// can lease simulation jobs from it and blsweep/blreport/bltlp can submit
+// sweeps with -remote. `-phases none` runs a coordinator-only server with
+// no live session.
+//
 // Usage:
 //
 //	blserve -phases browser:20s,video_player:20s -speed 4
+//	blserve -phases none                      # fleet coordinator only
 //	curl localhost:8377/metrics        # Prometheus text format
 //	curl localhost:8377/snapshot       # JSON attribution tables
 //	curl localhost:8377/tasks/render   # one task's attribution row
+//	curl localhost:8377/fleet/stats    # fleet queue/lease/worker snapshot
 //	curl -s localhost:8377/xray | blxray ls   # causal decision flight recorder
 //
-// SIGINT stops the simulation, shuts the server down, and prints a final
-// telemetry and attribution summary.
+// SIGINT drains the fleet (stops granting leases, waits for in-flight jobs,
+// /readyz flips to 503), stops the simulation, shuts the server down, and
+// prints a final telemetry and attribution summary.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -40,7 +50,8 @@ import (
 const step = 100 * biglittle.Millisecond
 
 // server owns the live session and serializes simulation advancement
-// against HTTP reads.
+// against HTTP reads. live is nil in coordinator-only mode (-phases none);
+// the session routes then report that there is nothing to observe.
 type server struct {
 	mu   sync.Mutex
 	live *biglittle.LiveSession
@@ -54,37 +65,73 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:8377", "HTTP listen address")
 		phasesArg = flag.String("phases", "browser:10s,video_player:10s",
-			"comma-separated app:duration phases")
-		seed   = flag.Int64("seed", 1, "workload random seed")
-		speed  = flag.Float64("speed", 1.0, "simulated seconds per wall second (0 = free-run)")
-		repeat = flag.Int("repeat", 0, "times to repeat the phase list (0 = forever)")
+			"comma-separated app:duration phases, or \"none\" for a fleet-coordinator-only server")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		speed   = flag.Float64("speed", 1.0, "simulated seconds per wall second (0 = free-run)")
+		repeat  = flag.Int("repeat", 0, "times to repeat the phase list (0 = forever)")
+		verbose = flag.Bool("v", false, "log fleet job transitions to stderr")
+
+		fleetQueue    = flag.Int("fleet-queue", 1024, "fleet: max pending jobs before 429 backpressure")
+		fleetTTL      = flag.Duration("fleet-lease-ttl", 30*time.Second, "fleet: lease duration before an unrenewed job is requeued")
+		fleetAttempts = flag.Int("fleet-max-attempts", 3, "fleet: lease attempts before a job is failed")
+		fleetCacheDir = flag.String("fleet-cache-dir", "", "fleet: coordinator result cache directory (default: the user cache dir)")
+		fleetNoCache  = flag.Bool("fleet-no-cache", false, "fleet: disable the coordinator result cache")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "fleet: max wait for in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
-	phases, err := parsePhases(*phasesArg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	reps := *repeat
-	if reps <= 0 {
-		reps = 10_000 // "forever" at human time scales; ~a month of sim time
-	}
-	var all []biglittle.SessionPhase
-	for i := 0; i < reps; i++ {
-		all = append(all, phases...)
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
-	cfg := biglittle.NewSession(all...)
-	cfg.Seed = *seed
 	tel := biglittle.NewTelemetry()
-	prof := biglittle.NewProfiler()
-	xr := biglittle.NewXray()
-	cfg.Telemetry = tel
-	cfg.Profiler = prof
-	cfg.Xray = xr
+	s := &server{tel: tel}
+	if *phasesArg != "none" {
+		phases, err := parsePhases(*phasesArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reps := *repeat
+		if reps <= 0 {
+			reps = 10_000 // "forever" at human time scales; ~a month of sim time
+		}
+		var all []biglittle.SessionPhase
+		for i := 0; i < reps; i++ {
+			all = append(all, phases...)
+		}
 
-	s := &server{live: biglittle.NewLiveSession(cfg), tel: tel, prof: prof, xr: xr}
+		cfg := biglittle.NewSession(all...)
+		cfg.Seed = *seed
+		s.prof = biglittle.NewProfiler()
+		s.xr = biglittle.NewXray()
+		cfg.Telemetry = tel
+		cfg.Profiler = s.prof
+		cfg.Xray = s.xr
+		s.live = biglittle.NewLiveSession(cfg)
+	}
+
+	var fleetCache *biglittle.LabCache
+	if !*fleetNoCache {
+		var err error
+		fleetCache, err = biglittle.OpenLabCache(*fleetCacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blserve: fleet cache:", err)
+			os.Exit(1)
+		}
+	}
+	// The coordinator shares the session's telemetry collector, so one
+	// /metrics scrape covers both the simulation and the fleet.
+	coord := biglittle.NewFleetCoordinator(biglittle.FleetOptions{
+		MaxQueue:    *fleetQueue,
+		LeaseTTL:    *fleetTTL,
+		MaxAttempts: *fleetAttempts,
+		Cache:       fleetCache,
+		Tel:         tel,
+		Log:         logger,
+	})
+	defer coord.Close()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -93,6 +140,7 @@ func main() {
 	mux.HandleFunc("/tasks/", s.handleTask)
 	mux.HandleFunc("/xray", s.handleXray)
 	mux.HandleFunc("/diff", s.handleDiff)
+	coord.Mount(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -112,18 +160,37 @@ func main() {
 	fmt.Printf("blserve: listening on http://%s (phases %s, speed %gx, seed %d)\n",
 		*addr, *phasesArg, *speed, *seed)
 
-	s.simLoop(ctx, *speed)
+	if s.live != nil {
+		s.simLoop(ctx, *speed)
+	} else {
+		<-ctx.Done()
+	}
+
+	// Graceful shutdown: flip /readyz to 503, stop granting leases, and give
+	// in-flight workers until -drain-timeout to publish their results before
+	// the HTTP server goes away.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := coord.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "blserve:", err)
+	}
+	cancelDrain()
 
 	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	srv.Shutdown(shctx)
 
+	fs := coord.Stats()
+	fmt.Printf("\nblserve: fleet: %d jobs completed, %d failed, %d retries, %d cache hits\n",
+		fs.Completed, fs.FailedJobs, fs.Retries, fs.CacheHits)
+	if s.live == nil {
+		return
+	}
 	// Final report: the event-level summary and the attribution table.
 	s.mu.Lock()
 	now := s.live.Now()
 	snap := s.prof.Snapshot(now)
 	s.mu.Unlock()
-	fmt.Printf("\nblserve: stopped at sim t=%v\n\n", now)
+	fmt.Printf("blserve: stopped at sim t=%v\n\n", now)
 	fmt.Print(tel.Summary(now))
 	fmt.Println()
 	fmt.Print(snap.Summary())
@@ -187,18 +254,32 @@ func parsePhases(arg string) ([]biglittle.SessionPhase, error) {
 	return phases, nil
 }
 
+// noSession replies 404 on session-observability routes when blserve runs
+// coordinator-only (-phases none); returns true when it handled the request.
+func (s *server) noSession(w http.ResponseWriter) bool {
+	if s.live != nil {
+		return false
+	}
+	http.Error(w, "no live session: blserve is running as a fleet coordinator (-phases none)", http.StatusNotFound)
+	return true
+}
+
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.Lock()
-	now, phase := s.live.Now(), s.live.Phase()
-	if s.done {
-		phase = "(complete)"
+	banner := "blserve: fleet coordinator (no live session)"
+	if s.live != nil {
+		s.mu.Lock()
+		now, phase := s.live.Now(), s.live.Phase()
+		if s.done {
+			phase = "(complete)"
+		}
+		s.mu.Unlock()
+		banner = fmt.Sprintf("blserve: live big.LITTLE simulation (sim t=%v, phase %q)", now, phase)
 	}
-	s.mu.Unlock()
-	fmt.Fprintf(w, `blserve: live big.LITTLE simulation (sim t=%v, phase %q)
+	fmt.Fprintf(w, `%s
 
 endpoints:
   /metrics        Prometheus text format (telemetry registry + per-task profiler)
@@ -206,11 +287,23 @@ endpoints:
   /tasks/<name>   one task's attribution row
   /xray           causal decision flight recorder (last spans, JSON; pipe to blxray)
   /diff           POST {"a": <xray dump>, "b": <xray dump>}: first divergent decision
+  /fleet/jobs     POST a job spec; /fleet/jobs/{id} polls it (distributed lab)
+  /fleet/stats    fleet queue/lease/worker snapshot (also: bllab fleet)
+  /healthz        liveness; /readyz flips 503 while draining
   /debug/pprof/   Go pprof
-`, now, phase)
+`, banner)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.live == nil {
+		// Coordinator-only: the shared collector still carries the fleet
+		// counters and gauges.
+		var b strings.Builder
+		s.tel.WritePrometheus(&b)
+		fmt.Fprint(w, b.String())
+		return
+	}
 	s.mu.Lock()
 	now := s.live.Now()
 	phase := s.live.Phase()
@@ -219,7 +312,6 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.tel.WritePrometheus(&b)
 	s.mu.Unlock()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# TYPE biglittle_sim_seconds gauge\nbiglittle_sim_seconds %g\n", now.Seconds())
 	fmt.Fprintf(w, "# TYPE biglittle_sim_phase_info gauge\nbiglittle_sim_phase_info{phase=%q} 1\n", phase)
 	fmt.Fprint(w, b.String())
@@ -227,6 +319,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.noSession(w) {
+		return
+	}
 	s.mu.Lock()
 	now := s.live.Now()
 	phase := s.live.Phase()
@@ -247,6 +342,9 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // spans as a JSON dump that pipes straight into blxray, e.g.
 // `curl -s .../xray | blxray explain -task br.layout -t 140ms`.
 func (s *server) handleXray(w http.ResponseWriter, r *http.Request) {
+	if s.noSession(w) {
+		return
+	}
 	s.mu.Lock()
 	data, err := s.xr.JSON()
 	s.mu.Unlock()
@@ -337,6 +435,9 @@ func (s *server) handleTask(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/tasks/")
 	if name == "" {
 		http.NotFound(w, r)
+		return
+	}
+	if s.noSession(w) {
 		return
 	}
 	s.mu.Lock()

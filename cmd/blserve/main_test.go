@@ -12,7 +12,9 @@ import (
 )
 
 // testServer builds a server around a short live session advanced far enough
-// to have decisions in the flight recorder, with the full route table.
+// to have decisions in the flight recorder, with the full route table —
+// fleet coordinator included, sharing the session's telemetry collector as
+// main does.
 func testServer(t *testing.T) (*server, http.Handler) {
 	t.Helper()
 	phases, err := parsePhases("bbench:2s")
@@ -36,7 +38,28 @@ func testServer(t *testing.T) (*server, http.Handler) {
 	mux.HandleFunc("/tasks/", s.handleTask)
 	mux.HandleFunc("/xray", s.handleXray)
 	mux.HandleFunc("/diff", s.handleDiff)
+	coord := biglittle.NewFleetCoordinator(biglittle.FleetOptions{Tel: tel})
+	t.Cleanup(coord.Close)
+	coord.Mount(mux)
 	return s, mux
+}
+
+// coordinatorOnlyServer is testServer for `-phases none`: no live session.
+func coordinatorOnlyServer(t *testing.T) http.Handler {
+	t.Helper()
+	tel := biglittle.NewTelemetry()
+	s := &server{tel: tel}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/tasks/", s.handleTask)
+	mux.HandleFunc("/xray", s.handleXray)
+	mux.HandleFunc("/diff", s.handleDiff)
+	coord := biglittle.NewFleetCoordinator(biglittle.FleetOptions{Tel: tel})
+	t.Cleanup(coord.Close)
+	coord.Mount(mux)
+	return mux
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -170,9 +193,67 @@ func TestIndexListsDiff(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET / = %d, want 200", rec.Code)
 	}
-	for _, want := range []string{"/xray", "/diff", "/metrics"} {
+	for _, want := range []string{"/xray", "/diff", "/metrics", "/fleet/stats", "/readyz"} {
 		if !strings.Contains(rec.Body.String(), want) {
 			t.Fatalf("index does not list %s:\n%s", want, rec.Body)
 		}
+	}
+}
+
+// TestFleetMounted pins the coordinator routes next to the observability
+// ones, and that the shared collector surfaces fleet metrics in /metrics.
+func TestFleetMounted(t *testing.T) {
+	_, h := testServer(t)
+	for path, want := range map[string]int{
+		"/healthz":     http.StatusOK,
+		"/readyz":      http.StatusOK,
+		"/fleet/stats": http.StatusOK,
+	} {
+		if rec := get(t, h, path); rec.Code != want {
+			t.Fatalf("GET %s = %d, want %d", path, rec.Code, want)
+		}
+	}
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, metric := range []string{
+		"biglittle_fleet_jobs_failed_total 0",
+		"biglittle_fleet_queue_depth 0",
+		"biglittle_sim_seconds", // session metrics still present alongside
+	} {
+		if !strings.Contains(body, metric) {
+			t.Fatalf("/metrics missing %q:\n%.2000s", metric, body)
+		}
+	}
+}
+
+// TestCoordinatorOnlyMode pins -phases none behavior: fleet and metrics
+// routes serve, session routes explain there is no session instead of
+// panicking on a nil live pointer.
+func TestCoordinatorOnlyMode(t *testing.T) {
+	h := coordinatorOnlyServer(t)
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d, want 200", rec.Code)
+	}
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "biglittle_fleet_jobs_failed_total 0") {
+		t.Fatalf("/metrics missing fleet counters:\n%.2000s", rec.Body.String())
+	}
+	for _, path := range []string{"/snapshot", "/xray", "/tasks/render"} {
+		rec := get(t, h, path)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s without a session = %d, want 404", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), "no live session") {
+			t.Fatalf("GET %s error does not explain coordinator-only mode: %s", path, rec.Body)
+		}
+	}
+	if rec := get(t, h, "/"); !strings.Contains(rec.Body.String(), "fleet coordinator") {
+		t.Fatalf("index does not announce coordinator-only mode:\n%s", rec.Body)
 	}
 }

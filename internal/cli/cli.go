@@ -18,6 +18,7 @@ import (
 	"biglittle/internal/apps"
 	"biglittle/internal/core"
 	"biglittle/internal/event"
+	"biglittle/internal/fleet"
 	"biglittle/internal/lab"
 	"biglittle/internal/platform"
 )
@@ -31,6 +32,7 @@ type Experiment struct {
 	NoCache  bool
 	Check    bool
 	Verbose  bool
+	Remote   string
 }
 
 // RegisterExperiment installs the shared experiment flags on fs and returns
@@ -39,11 +41,12 @@ func RegisterExperiment(fs *flag.FlagSet, defaultDuration time.Duration) *Experi
 	e := &Experiment{}
 	fs.Int64Var(&e.Seed, "seed", 1, "workload random seed")
 	fs.DurationVar(&e.Duration, "duration", defaultDuration, "simulated duration per app run")
-	fs.IntVar(&e.Workers, "workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	fs.IntVar(&e.Workers, "workers", 0, "parallel simulations (0 = GOMAXPROCS, or 16 with -remote)")
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "result cache directory (default: the user cache dir, e.g. ~/.cache/biglittle)")
 	fs.BoolVar(&e.NoCache, "no-cache", false, "disable the on-disk result cache")
 	fs.BoolVar(&e.Check, "check", false, "audit every run with the invariant checker; cache hits are re-simulated and compared")
 	fs.BoolVar(&e.Verbose, "v", false, "log sweep progress to stderr: per-job transitions, completed/total, jobs/sec, ETA")
+	fs.StringVar(&e.Remote, "remote", "", "fleet coordinator base URL (a blserve instance); fingerprintable jobs execute on the fleet, the rest simulate locally")
 	return e
 }
 
@@ -59,7 +62,10 @@ func (e *Experiment) Logger() *slog.Logger {
 
 // Runner builds the experiment orchestrator the flags describe: the worker
 // pool plus (unless -no-cache) the content-addressed result cache, with
-// progress logging attached when -v is set.
+// progress logging attached when -v is set. With -remote, a fleet client is
+// installed as the remote executor: pool slots then mostly wait on the
+// coordinator rather than burn a CPU, so the default pool widens to 16 to
+// keep that many jobs in flight across the fleet.
 func (e *Experiment) Runner() (*lab.Runner, error) {
 	r := &lab.Runner{Workers: e.Workers, Check: e.Check, Log: e.Logger()}
 	if !e.NoCache {
@@ -68,6 +74,12 @@ func (e *Experiment) Runner() (*lab.Runner, error) {
 			return nil, err
 		}
 		r.Cache = c
+	}
+	if e.Remote != "" {
+		r.Remote = &fleet.Client{Base: e.Remote, Log: e.Logger()}
+		if r.Workers == 0 {
+			r.Workers = 16
+		}
 	}
 	return r, nil
 }
@@ -125,11 +137,63 @@ func PrintLabStats(w io.Writer, r *lab.Runner, elapsed time.Duration) {
 	if r.Cache != nil {
 		cache = r.Cache.Dir()
 	}
-	fmt.Fprintf(w, "lab: %d jobs: %d cache hits, %d misses, %d simulated, %d retried, %d failed in %s (cache %s)\n",
-		s.Jobs, s.Hits, s.Misses, s.Simulated, s.Retries, s.Failures, elapsed.Round(time.Millisecond), cache)
+	fmt.Fprintf(w, "lab: %d jobs: %d cache hits, %d misses, %d simulated, %d remote, %d retried, %d failed in %s (cache %s)\n",
+		s.Jobs, s.Hits, s.Misses, s.Simulated, s.Remote, s.Retries, s.Failures, elapsed.Round(time.Millisecond), cache)
 	if r.Check {
 		fmt.Fprintf(w, "lab: audit: %d runs verified, %d failed\n", s.Audited, s.AuditFailures)
 	}
+}
+
+// intOverride adapts a set-an-int field to the override table, wrapping
+// parse failures with the key and offending value.
+func intOverride(set func(*core.Config, int)) func(*core.Config, string, string) error {
+	return func(cfg *core.Config, k, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("override %s: bad value %q: %v", k, v, err)
+		}
+		set(cfg, n)
+		return nil
+	}
+}
+
+// overrides is the key=value vocabulary ApplyOverrides accepts, in the order
+// error messages list it. The "keys:" list in those messages is derived from
+// this table, so adding an override here is the whole change.
+var overrides = []struct {
+	key   string
+	apply func(cfg *core.Config, k, v string) error
+}{
+	{"up", intOverride(func(c *core.Config, n int) { c.Sched.UpThreshold = n })},
+	{"down", intOverride(func(c *core.Config, n int) { c.Sched.DownThreshold = n })},
+	{"halflife-ms", intOverride(func(c *core.Config, n int) { c.Sched.HalfLifeMs = n })},
+	{"tick-ms", intOverride(func(c *core.Config, n int) { c.Sched.TickMs = n })},
+	{"tiny-wake-load", intOverride(func(c *core.Config, n int) { c.Sched.TinyWakeLoad = n })},
+	{"sample-ms", intOverride(func(c *core.Config, n int) { c.Gov.SampleMs = n })},
+	{"target-load", intOverride(func(c *core.Config, n int) { c.Gov.TargetLoad = n })},
+	{"gov-down", intOverride(func(c *core.Config, n int) { c.Gov.DownThreshold = n })},
+	{"governor", func(c *core.Config, _, v string) (err error) {
+		c.Governor, err = parseGovernor(v)
+		return
+	}},
+	{"scheduler", func(c *core.Config, _, v string) (err error) {
+		c.Scheduler, err = parseScheduler(v)
+		return
+	}},
+	{"cores", func(c *core.Config, _, v string) (err error) {
+		c.Cores, err = platform.ParseCoreConfig(v)
+		return
+	}},
+	{"seed", intOverride(func(c *core.Config, n int) { c.Seed = int64(n) })},
+}
+
+// overrideKeys renders the vocabulary for error messages.
+func overrideKeys() string {
+	keys := make([]string, len(overrides))
+	for i, o := range overrides {
+		keys[i] = o.key
+	}
+	return strings.Join(keys, ", ")
 }
 
 // ApplyOverrides applies a comma-separated key=value override list to a run
@@ -138,7 +202,6 @@ func PrintLabStats(w io.Writer, r *lab.Runner, elapsed time.Duration) {
 // Unknown keys and unparseable values are errors listing the vocabulary, so
 // a typo can never silently diff a config against itself.
 func ApplyOverrides(cfg *core.Config, spec string) error {
-	const known = "up, down, halflife-ms, tick-ms, tiny-wake-load, sample-ms, target-load, gov-down, governor, scheduler, cores, seed"
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -146,49 +209,21 @@ func ApplyOverrides(cfg *core.Config, spec string) error {
 		}
 		k, v, ok := strings.Cut(part, "=")
 		if !ok {
-			return fmt.Errorf("bad override %q (want key=value; keys: %s)", part, known)
+			return fmt.Errorf("bad override %q (want key=value; keys: %s)", part, overrideKeys())
 		}
-		atoi := func() (int, error) {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return 0, fmt.Errorf("override %s: bad value %q: %v", k, v, err)
+		applied := false
+		for _, o := range overrides {
+			if o.key != k {
+				continue
 			}
-			return n, nil
-		}
-		var err error
-		switch k {
-		case "up":
-			cfg.Sched.UpThreshold, err = atoi()
-		case "down":
-			cfg.Sched.DownThreshold, err = atoi()
-		case "halflife-ms":
-			cfg.Sched.HalfLifeMs, err = atoi()
-		case "tick-ms":
-			cfg.Sched.TickMs, err = atoi()
-		case "tiny-wake-load":
-			cfg.Sched.TinyWakeLoad, err = atoi()
-		case "sample-ms":
-			cfg.Gov.SampleMs, err = atoi()
-		case "target-load":
-			cfg.Gov.TargetLoad, err = atoi()
-		case "gov-down":
-			cfg.Gov.DownThreshold, err = atoi()
-		case "governor":
-			cfg.Governor, err = parseGovernor(v)
-		case "scheduler":
-			cfg.Scheduler, err = parseScheduler(v)
-		case "cores":
-			cfg.Cores, err = platform.ParseCoreConfig(v)
-		case "seed":
-			var n int
-			if n, err = atoi(); err == nil {
-				cfg.Seed = int64(n)
+			if err := o.apply(cfg, k, v); err != nil {
+				return err
 			}
-		default:
-			return fmt.Errorf("unknown override key %q (keys: %s)", k, known)
+			applied = true
+			break
 		}
-		if err != nil {
-			return err
+		if !applied {
+			return fmt.Errorf("unknown override key %q (keys: %s)", k, overrideKeys())
 		}
 	}
 	return nil

@@ -67,6 +67,40 @@ func TestRegisterExperimentAndRunner(t *testing.T) {
 	}
 }
 
+func TestRunnerRemoteWiring(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	e := RegisterExperiment(fs, 15*time.Second)
+	if err := fs.Parse([]string{"-remote", "http://127.0.0.1:8377", "-no-cache"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remote == nil {
+		t.Fatal("-remote did not install a fleet executor")
+	}
+	// Remote pool slots wait on the coordinator, not a CPU: the default
+	// widens so a sweep keeps the fleet busy.
+	if r.Workers != 16 {
+		t.Fatalf("remote default workers = %d, want 16", r.Workers)
+	}
+
+	// An explicit -workers wins.
+	e.Workers = 2
+	r2, err := e.Runner()
+	if err != nil || r2.Workers != 2 {
+		t.Fatalf("explicit workers = %d, %v; want 2", r2.Workers, err)
+	}
+
+	// Without -remote, no executor is attached.
+	e.Remote = ""
+	r3, err := e.Runner()
+	if err != nil || r3.Remote != nil {
+		t.Fatalf("runner without -remote has an executor: %+v, %v", r3.Remote, err)
+	}
+}
+
 func TestApplyOverrides(t *testing.T) {
 	app, err := apps.ByName("bbench")
 	if err != nil {

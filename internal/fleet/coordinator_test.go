@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"biglittle/internal/core"
+	"biglittle/internal/lab"
+)
+
+// fakeClock drives the coordinator's idea of time so lease expiry is
+// deterministic regardless of test-host scheduling.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestCoordinator(t *testing.T, opt Options) *Coordinator {
+	t.Helper()
+	c := NewCoordinator(opt)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func testSpec(t *testing.T, seed int64) JobSpec {
+	t.Helper()
+	spec, err := SpecFromJob(testJob(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSubmitLeaseComplete(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	spec := testSpec(t, 1)
+
+	rep, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State != StatePending || rep.ID != spec.Fingerprint {
+		t.Fatalf("submit reply = %+v", rep)
+	}
+
+	g, err := c.Lease(context.Background(), "w1", 0)
+	if err != nil || g == nil {
+		t.Fatalf("lease = %v, %v", g, err)
+	}
+	if g.Job != rep.ID || g.Spec.Fingerprint != spec.Fingerprint {
+		t.Fatalf("leased wrong job: %+v", g)
+	}
+
+	res := core.Result{EnergyMJ: 42}
+	if err := c.Complete(g.Lease, g.Job, "w1", res); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Job(context.Background(), rep.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil || st.Result.EnergyMJ != 42 {
+		t.Fatalf("status after complete = %+v", st)
+	}
+	if st.Attempts != 1 || st.Worker != "w1" {
+		t.Fatalf("attempts/worker = %d/%q, want 1/w1", st.Attempts, st.Worker)
+	}
+}
+
+func TestSubmitDedupes(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	spec := testSpec(t, 1)
+	if _, err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deduped {
+		t.Fatalf("identical resubmission not deduped: %+v", rep)
+	}
+	if s := c.Stats(); s.Pending != 1 {
+		t.Fatalf("dedup still enqueued a second copy: %+v", s)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	c := newTestCoordinator(t, Options{MaxQueue: 1})
+	if _, err := c.Submit(testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(testSpec(t, 2)) // distinct seed: not a dedup
+	if err != ErrQueueFull {
+		t.Fatalf("second submit = %v, want ErrQueueFull", err)
+	}
+	if s := c.Stats(); s.Backpressure != 1 {
+		t.Fatalf("backpressure counter = %d, want 1", s.Backpressure)
+	}
+
+	// Leasing the queued job frees the slot: the refused job submits cleanly.
+	if g, err := c.Lease(context.Background(), "w1", 0); err != nil || g == nil {
+		t.Fatalf("lease = %v, %v", g, err)
+	}
+	if _, err := c.Submit(testSpec(t, 2)); err != nil {
+		t.Fatalf("submit after lease freed the queue: %v", err)
+	}
+}
+
+func TestLeaseExpiryReassignsJob(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, Options{LeaseTTL: 30 * time.Second, Now: clock.now})
+	spec := testSpec(t, 1)
+	if _, err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker a takes the job and dies (never completes, never renews).
+	ga, err := c.Lease(context.Background(), "a", 0)
+	if err != nil || ga == nil {
+		t.Fatalf("lease a = %v, %v", ga, err)
+	}
+	clock.advance(31 * time.Second)
+	if n := c.ExpireLeases(); n != 1 {
+		t.Fatalf("ExpireLeases = %d, want 1", n)
+	}
+
+	// The job is pending again; worker b picks it up as attempt 2.
+	gb, err := c.Lease(context.Background(), "b", 0)
+	if err != nil || gb == nil {
+		t.Fatalf("lease b = %v, %v", gb, err)
+	}
+	if gb.Job != ga.Job {
+		t.Fatalf("b leased %s, want the expired job %s", gb.Job, ga.Job)
+	}
+	if err := c.Complete(gb.Lease, gb.Job, "b", core.Result{EnergyMJ: 7}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Job(context.Background(), gb.Job, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Attempts != 2 || st.Worker != "b" {
+		t.Fatalf("status = %+v, want done on attempt 2 by b", st)
+	}
+
+	// The dead worker's result arrives late: discarded, not double-counted.
+	if err := c.Complete(ga.Lease, ga.Job, "a", core.Result{EnergyMJ: 7}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d after duplicate result, want 1", s.Completed)
+	}
+	if got := c.Tel().Counter("fleet_duplicate_results").Value(); got != 1 {
+		t.Fatalf("duplicate_results = %d, want 1", got)
+	}
+	if s.LeaseExpiries != 1 || s.Retries != 1 {
+		t.Fatalf("expiries/retries = %d/%d, want 1/1", s.LeaseExpiries, s.Retries)
+	}
+}
+
+func TestLateCompletionBeatsRequeue(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, Options{LeaseTTL: 30 * time.Second, Now: clock.now})
+	if _, err := c.Submit(testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Lease(context.Background(), "slow", 0)
+	if err != nil || g == nil {
+		t.Fatalf("lease = %v, %v", g, err)
+	}
+	clock.advance(31 * time.Second)
+	c.ExpireLeases() // job requeued as pending
+
+	// The slow worker finishes anyway. Its result is accepted...
+	if err := c.Complete(g.Lease, g.Job, "slow", core.Result{EnergyMJ: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Job(context.Background(), g.Job, 0)
+	if st.State != StateDone {
+		t.Fatalf("late completion not accepted: %+v", st)
+	}
+	// ...and the requeued copy is skipped at grant time, not re-executed.
+	if g2, err := c.Lease(context.Background(), "other", 0); err != nil || g2 != nil {
+		t.Fatalf("requeued copy of a done job was granted: %+v, %v", g2, err)
+	}
+	if s := c.Stats(); s.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d, want 0", s.QueueDepth)
+	}
+}
+
+func TestAttemptsExhaustedFailsJob(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, Options{LeaseTTL: time.Second, MaxAttempts: 2, Now: clock.now})
+	if _, err := c.Submit(testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	for i := 0; i < 2; i++ {
+		g, err := c.Lease(context.Background(), "flaky", 0)
+		if err != nil || g == nil {
+			t.Fatalf("lease %d = %v, %v", i, g, err)
+		}
+		id = g.Job
+		clock.advance(2 * time.Second)
+		c.ExpireLeases()
+	}
+	st, err := c.Job(context.Background(), id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("after exhausting attempts: %+v, want failed with an error", st)
+	}
+	if s := c.Stats(); s.FailedJobs != 1 {
+		t.Fatalf("failed counter = %d, want 1", s.FailedJobs)
+	}
+}
+
+func TestWorkerFailRequeues(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	if _, err := c.Submit(testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Lease(context.Background(), "w1", 0)
+	if err != nil || g == nil {
+		t.Fatalf("lease = %v, %v", g, err)
+	}
+	if err := c.Fail(g.Lease, g.Job, "w1", "spec rejected"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Lease(context.Background(), "w2", 0)
+	if err != nil || g2 == nil || g2.Job != g.Job {
+		t.Fatalf("failed job not requeued: %+v, %v", g2, err)
+	}
+}
+
+func TestRenewExtendsLease(t *testing.T) {
+	clock := newFakeClock()
+	c := newTestCoordinator(t, Options{LeaseTTL: 30 * time.Second, Now: clock.now})
+	if _, err := c.Submit(testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.Lease(context.Background(), "w1", 0)
+	clock.advance(20 * time.Second)
+	if err := c.Renew(g.Lease, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(20 * time.Second) // 40s total: only fatal without the renewal
+	if n := c.ExpireLeases(); n != 0 {
+		t.Fatalf("renewed lease expired anyway (%d)", n)
+	}
+	clock.advance(11 * time.Second)
+	if n := c.ExpireLeases(); n != 1 {
+		t.Fatalf("lease did not expire after renewal lapsed (%d)", n)
+	}
+	if err := c.Renew(g.Lease, "w1"); err != ErrGone {
+		t.Fatalf("renewing an expired lease = %v, want ErrGone", err)
+	}
+}
+
+func TestDrainStopsLeasingAndWaits(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	if _, err := c.Submit(testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Lease(context.Background(), "w1", 0)
+	if err != nil || g == nil {
+		t.Fatalf("lease = %v, %v", g, err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- c.Drain(context.Background()) }()
+
+	// Draining flips readiness and refuses new work.
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !c.Draining() {
+		t.Fatal("Drain never set draining")
+	}
+	if _, err := c.Submit(testSpec(t, 2)); err != ErrDraining {
+		t.Fatalf("submit while draining = %v, want ErrDraining", err)
+	}
+	if _, err := c.Lease(context.Background(), "w2", 0); err != ErrDraining {
+		t.Fatalf("lease while draining = %v, want ErrDraining", err)
+	}
+
+	// The in-flight job finishing releases the drain.
+	if err := c.Complete(g.Lease, g.Job, "w1", core.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not return after the held job completed")
+	}
+}
+
+func TestCoordinatorCacheShortCircuits(t *testing.T) {
+	cache, err := lab.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCoordinator(t, Options{Cache: cache})
+	spec := testSpec(t, 1)
+
+	// First pass: normal queue round.
+	if _, err := c.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.Lease(context.Background(), "w1", 0)
+	if err := c.Complete(g.Lease, g.Job, "w1", core.Result{EnergyMJ: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second coordinator sharing the cache: the same spec completes on
+	// submit, no worker involved.
+	c2 := newTestCoordinator(t, Options{Cache: cache})
+	rep, err := c2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State != StateDone || !rep.Cached {
+		t.Fatalf("submit reply = %+v, want done from cache", rep)
+	}
+	st, err := c2.Job(context.Background(), rep.ID, 0)
+	if err != nil || st.Result == nil || st.Result.EnergyMJ != 9 {
+		t.Fatalf("cached status = %+v, %v", st, err)
+	}
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"biglittle/internal/core"
+	"biglittle/internal/lab"
+)
+
+// startFleet serves a coordinator over real HTTP (httptest) and returns a
+// client pointed at it — the full wire path workers and sweeps use.
+func startFleet(t *testing.T, opt Options) (*Coordinator, *Client) {
+	t.Helper()
+	coord := NewCoordinator(opt)
+	t.Cleanup(coord.Close)
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return coord, &Client{Base: srv.URL, Timeout: time.Minute, PollWait: 100 * time.Millisecond}
+}
+
+// startWorker runs a fleet worker (own runner, own cache) until the test
+// ends, returning a cancel that waits for it to stop.
+func startWorker(t *testing.T, client *Client, id string) context.CancelFunc {
+	t.Helper()
+	cache, err := lab.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Worker{
+		Client:    client,
+		Runner:    &lab.Runner{Workers: 1, Cache: cache},
+		ID:        id,
+		LeaseWait: 50 * time.Millisecond,
+		Backoff:   10 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// TestFleetByteIdenticalToInProcess is the acceptance gate: a sweep executed
+// through a coordinator and two worker processes' runners must produce the
+// same bytes as plain in-process RunAll, in the same order.
+func TestFleetByteIdenticalToInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fleet sweep")
+	}
+	_, client := startFleet(t, Options{})
+	startWorker(t, client, "w1")
+	startWorker(t, client, "w2")
+
+	var jobs []lab.Job
+	for seed := int64(1); seed <= 6; seed++ {
+		jobs = append(jobs, testJob(t, seed))
+	}
+
+	remote := &lab.Runner{Workers: 4, Remote: client}
+	got, err := remote.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := remote.Stats(); s.Remote != int64(len(jobs)) || s.Simulated != 0 {
+		t.Fatalf("stats = %+v, want all %d jobs remote", s, len(jobs))
+	}
+
+	local := &lab.Runner{Workers: 4}
+	want, err := local.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fleet results differ from in-process:\nfleet %s\nlocal %s", a, b)
+	}
+}
+
+// TestWorkerKilledMidJob pins the robustness story end to end: a worker
+// leases a job over HTTP and dies; the lease expires, a live worker reruns
+// the job, and exactly one result lands.
+func TestWorkerKilledMidJob(t *testing.T) {
+	coord, client := startFleet(t, Options{LeaseTTL: 150 * time.Millisecond})
+	spec := testSpec(t, 1)
+	rep, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker takes the lease over the wire, then "crashes":
+	// no renewal, no completion, no fail.
+	g, err := client.Lease(context.Background(), "doomed", 100*time.Millisecond)
+	if err != nil || g == nil {
+		t.Fatalf("lease = %v, %v", g, err)
+	}
+
+	// The reaper requeues the job once the TTL lapses; a live worker then
+	// picks it up and completes it.
+	startWorker(t, client, "survivor")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := client.Await(ctx, rep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := client.JobStatus(context.Background(), rep.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Attempts != 2 || st.Worker != "survivor" {
+		t.Fatalf("status = %+v, want done on attempt 2 by survivor", st)
+	}
+	s := coord.Stats()
+	if s.Completed != 1 || s.LeaseExpiries != 1 || s.Retries != 1 {
+		t.Fatalf("completed/expiries/retries = %d/%d/%d, want 1/1/1",
+			s.Completed, s.LeaseExpiries, s.Retries)
+	}
+
+	// And the result is still the in-process result.
+	want := core.Run(testJob(t, 1).Config)
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(want)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("retried result differs from in-process:\n%s\n%s", a, b)
+	}
+}
+
+// TestHTTPBackpressure pins the 429 contract on the wire: Retry-After is
+// set, the typed error carries it, and draining turns submissions into 503.
+func TestHTTPBackpressure(t *testing.T) {
+	coord, client := startFleet(t, Options{MaxQueue: 1})
+	if _, err := client.Submit(context.Background(), testSpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw request so the header is visible.
+	body, _ := json.Marshal(submitRequest{Spec: testSpec(t, 2)})
+	resp, err := http.Post(client.Base+"/fleet/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// The typed client surfaces it as backpressure, not a generic error.
+	_, err = client.Submit(context.Background(), testSpec(t, 2))
+	var bp errBackpressure
+	if !errors.As(err, &bp) || bp.retryAfter <= 0 {
+		t.Fatalf("client error = %v, want errBackpressure with a positive hint", err)
+	}
+
+	// Draining: /readyz flips 503 and submissions are refused outright.
+	go coord.Drain(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for !coord.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r2, err := http.Get(client.Base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", r2.StatusCode)
+	}
+	h, err := http.Get(client.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200", h.StatusCode)
+	}
+}
+
+// TestConcurrentSubmitLeaseComplete hammers one coordinator from many
+// submitters and stub workers at once — the -race gate for the lock
+// discipline around queue, leases, and long-polls.
+func TestConcurrentSubmitLeaseComplete(t *testing.T) {
+	coord, client := startFleet(t, Options{MaxQueue: 4}) // small: exercise backpressure too
+
+	// Stub workers complete jobs without simulating (results need not be
+	// real here; determinism is covered elsewhere).
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	var workers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		workers.Add(1)
+		go func(id string) {
+			defer workers.Done()
+			for wctx.Err() == nil {
+				g, err := client.Lease(wctx, id, 50*time.Millisecond)
+				if err != nil || g == nil {
+					continue
+				}
+				client.Complete(wctx, g, id, core.Result{EnergyMJ: 1})
+			}
+		}(fmt.Sprintf("stub%d", i))
+	}
+
+	// Specs are minted on the test goroutine (testSpec may t.Fatal); seeds
+	// collide so the dedup path runs concurrently too.
+	const n = 24
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		specs[i] = testSpec(t, int64(i%8)+1)
+	}
+	var subs sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		subs.Add(1)
+		go func(spec JobSpec) {
+			defer subs.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			id, err := client.submit(ctx, spec) // backoff loop: rides out 429s
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := client.Await(ctx, id); err != nil {
+				errs <- err
+			}
+		}(specs[i])
+	}
+	subs.Wait()
+	stopWorkers()
+	workers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := coord.Stats(); s.Completed != 8 || s.FailedJobs != 0 {
+		t.Fatalf("completed/failed = %d/%d, want 8 completed (one per distinct seed), 0 failed", s.Completed, s.FailedJobs)
+	}
+}

@@ -53,8 +53,20 @@ type Job struct {
 	Prepare func(*core.Config)
 }
 
-// Stats counts what a runner did. Hits+Simulated = completed jobs (when
-// nothing failed); on a fully warm cache Simulated is zero.
+// Executor runs a job somewhere other than this process — the simulation
+// fleet, typically (internal/fleet.Client implements it). Execute reports
+// ok=false when the job cannot be shipped out (it carries hooks or observers
+// that do not serialize, or an app/platform the remote side cannot rebuild
+// by name); the runner then simulates locally. A non-nil error means the
+// remote attempt itself failed (coordinator unreachable, job failed on every
+// worker); the runner logs it and falls back to local simulation, so a dead
+// fleet degrades to in-process execution, never to a lost result.
+type Executor interface {
+	Execute(job Job) (res core.Result, ok bool, err error)
+}
+
+// Stats counts what a runner did. Hits+Remote+Simulated = completed jobs
+// (when nothing failed); on a fully warm cache Simulated is zero.
 type Stats struct {
 	Jobs      int64 // jobs submitted
 	Hits      int64 // results served from cache
@@ -63,6 +75,12 @@ type Stats struct {
 	Stored    int64 // results written to cache
 	Retries   int64 // extra attempts after a panic or timeout
 	Failures  int64 // jobs that exhausted their attempts
+
+	// Remote counts jobs executed by the remote fleet (Runner.Remote);
+	// RemoteErrors counts remote attempts that failed and fell back to
+	// local simulation.
+	Remote       int64
+	RemoteErrors int64
 
 	// Audited counts jobs that passed invariant auditing (Runner.Check);
 	// AuditFailures counts jobs whose audit reported violations or whose
@@ -78,10 +96,17 @@ type Runner struct {
 	Workers int
 	// Cache, when non-nil, memoizes results by content fingerprint.
 	Cache *Cache
+	// Remote, when non-nil, executes fingerprintable jobs on a remote fleet
+	// after the local cache misses. Jobs the executor cannot ship (Execute
+	// ok=false) and failed remote attempts simulate locally, so attaching a
+	// Remote never changes results — only where they are computed. Remote
+	// results are stored into the local cache like fresh simulations.
+	Remote Executor
 	// Tel, when non-nil, receives progress and cache hit/miss counters —
 	// one per Stats field: "lab_jobs", "lab_cache_hits", "lab_cache_misses",
 	// "lab_simulations", "lab_stored", "lab_retries", "lab_failures",
-	// "lab_audited", "lab_audit_failures". The runner updates them under its
+	// "lab_remote", "lab_remote_errors", "lab_audited",
+	// "lab_audit_failures". The runner updates them under its
 	// own mutex so Stats and the mirrored counters stay in lockstep; the
 	// registry itself is goroutine-safe, so exporting this collector (e.g.
 	// WritePrometheus) while a sweep runs is fine. Do not share it with
@@ -249,6 +274,7 @@ func (p *progress) finish() {
 		"hits", s.Hits,
 		"misses", s.Misses,
 		"simulated", s.Simulated,
+		"remote", s.Remote,
 		"stored", s.Stored,
 		"retries", s.Retries,
 		"failures", s.Failures,
@@ -339,8 +365,8 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 		job.Prepare(&cfg)
 	}
 	probe := Job{Config: cfg, Salt: job.Salt}
-	fp, cacheable := Fingerprint(probe)
-	cacheable = cacheable && r.Cache != nil
+	fp, printable := Fingerprint(probe)
+	cacheable := printable && r.Cache != nil
 	if cacheable {
 		if res, ok := r.Cache.Get(fp); ok {
 			if r.Check {
@@ -358,6 +384,40 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 		}
 		r.count(func(s *Stats) { s.Misses++ }, "lab_cache_misses")
 		r.logJob("cache miss", cfg.App.Name, "fingerprint", fp)
+	}
+
+	// Remote execution: ship fingerprintable jobs to the fleet. The executor
+	// declines jobs it cannot reconstruct remotely, and any remote failure
+	// falls through to local simulation — the fleet is an accelerator, not a
+	// dependency.
+	if printable && r.Remote != nil {
+		res, ok, rerr := r.Remote.Execute(probe)
+		switch {
+		case rerr != nil:
+			r.count(func(s *Stats) { s.RemoteErrors++ }, "lab_remote_errors")
+			r.logJob("remote error", cfg.App.Name, "err", rerr)
+		case ok:
+			if r.Check {
+				// A remote result is audited exactly like a cache hit: re-simulate
+				// locally with the auditor attached and require byte equality.
+				if aerr := r.auditCached(cfg, res); aerr != nil {
+					r.count(func(s *Stats) { s.AuditFailures++ }, "lab_audit_failures")
+					r.logJob("audit failure", cfg.App.Name, "err", aerr)
+					return core.Result{}, aerr
+				}
+				r.count(func(s *Stats) { s.Audited++ }, "lab_audited")
+				r.logJob("audited", cfg.App.Name, "source", "remote")
+			}
+			r.count(func(s *Stats) { s.Remote++ }, "lab_remote")
+			r.logJob("remote", cfg.App.Name, "fingerprint", fp)
+			if cacheable {
+				if perr := r.Cache.Put(fp, cfg.App.Name, job.Salt, res); perr == nil {
+					r.count(func(s *Stats) { s.Stored++ }, "lab_stored")
+					r.logJob("stored", cfg.App.Name, "fingerprint", fp)
+				}
+			}
+			return res, nil
+		}
 	}
 
 	var err error

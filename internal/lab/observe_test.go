@@ -26,6 +26,8 @@ var statCounters = map[string]string{
 	"Stored":        "lab_stored",
 	"Retries":       "lab_retries",
 	"Failures":      "lab_failures",
+	"Remote":        "lab_remote",
+	"RemoteErrors":  "lab_remote_errors",
 	"Audited":       "lab_audited",
 	"AuditFailures": "lab_audit_failures",
 }
