@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke fleet-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke fleet-smoke fork-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -25,7 +25,7 @@ bench-smoke:
 # output into BENCH_baseline.json; bench-compare re-measures and fails if a
 # gated benchmark's median regressed >10% (time only on the same CPU model;
 # allocs/op everywhere — it is machine-independent).
-GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower|BenchmarkDigestOff|BenchmarkDigestOn
+GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower|BenchmarkDigestOff|BenchmarkDigestOn|BenchmarkForkSweep
 
 bench-baseline:
 	go test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -count 6 . | tee /tmp/blbench-baseline.txt
@@ -99,6 +99,26 @@ fleet-smoke:
 		grep -q '^biglittle_fleet_jobs_failed_total 0$$' /tmp/fleet-metrics.txt || { echo "fleet-smoke: fleet reported failed jobs" >&2; exit 1; }; \
 		echo "fleet-smoke: OK"
 
+# End-to-end smoke of snapshot-accelerated sweeps: (a) forking the sweep's
+# base value must reproduce the cold run byte-for-byte, (b) a multi-value
+# forked sweep must share one warmed prefix (nonzero reuse in the lab
+# stats), and (c) a second sweep over new values against the same cache must
+# load that prefix from the disk tier instead of re-simulating it.
+fork-smoke:
+	go build -o /tmp/blsweep ./cmd/blsweep
+	dir=$$(mktemp -d); \
+		/tmp/blsweep -param sample-ms -values 20 -app encoder -duration 2s -no-cache >/tmp/fork-cold.csv 2>/dev/null; \
+		/tmp/blsweep -param sample-ms -values 20 -app encoder -duration 2s -no-cache -fork-at 1500ms >/tmp/fork-base.csv 2>/tmp/fork-base.log; \
+		/tmp/blsweep -param sample-ms -values 10,20,40,60 -app encoder -duration 2s -no-cache -fork-at 1500ms >/tmp/fork-sweep.csv 2>/tmp/fork-sweep.log; \
+		/tmp/blsweep -param sample-ms -values 10,40 -app encoder -duration 2s -cache-dir $$dir -fork-at 1500ms >/dev/null 2>/tmp/fork-disk1.log; \
+		/tmp/blsweep -param sample-ms -values 60,80 -app encoder -duration 2s -cache-dir $$dir -fork-at 1500ms >/dev/null 2>/tmp/fork-disk2.log; \
+		cat /tmp/fork-base.log /tmp/fork-sweep.log /tmp/fork-disk1.log /tmp/fork-disk2.log; \
+		rm -rf $$dir; \
+		cmp /tmp/fork-cold.csv /tmp/fork-base.csv || { echo "fork-smoke: forked base run differs from the cold run" >&2; exit 1; }; \
+		grep -q 'fork: 4 continuations: 1 prefixes simulated, 3 reused' /tmp/fork-sweep.log || { echo "fork-smoke: sweep did not share one prefix" >&2; exit 1; }; \
+		grep -q 'fork: 2 continuations: 0 prefixes simulated, 2 reused' /tmp/fork-disk2.log || { echo "fork-smoke: prefix not reloaded from the disk tier" >&2; exit 1; }; \
+		echo "fork-smoke: OK"
+
 # End-to-end smoke of the causal decision tracer: record a golden-config
 # run with -xray, then require blxray to reconstruct a placement decision
 # (inputs + candidate table with a chosen core) and to walk a migration's
@@ -154,13 +174,14 @@ report-par:
 # contain one copy of each block per test binary, so blocks are deduplicated
 # by location before aggregating per package.
 cover:
-	go test -coverpkg=./internal/core,./internal/sched,./internal/platform \
+	go test -coverpkg=./internal/core,./internal/sched,./internal/platform,./internal/snapshot \
 		-coverprofile=/tmp/biglittle-cover.out ./... > /dev/null
 	awk 'NR>1 {key=$$1; stmts[key]=$$2; if ($$3>0) hit[key]=1} \
 		END { \
 			floors["biglittle/internal/core"]=90; \
 			floors["biglittle/internal/sched"]=88; \
 			floors["biglittle/internal/platform"]=90; \
+			floors["biglittle/internal/snapshot"]=90; \
 			bad=0; \
 			for (k in stmts) {p=k; sub(/:.*/, "", p); sub(/\/[^\/]*$$/, "", p); total[p]+=stmts[k]; if (hit[k]) cov[p]+=stmts[k]} \
 			for (p in floors) { \
@@ -172,12 +193,14 @@ cover:
 			exit bad \
 		}' /tmp/biglittle-cover.out
 
-# 30 s of native fuzzing per target — a smoke pass over the three parser
-# fuzzers, not a deep campaign (go test runs one -fuzz target at a time).
+# 30 s of native fuzzing per target — a smoke pass over the parser and
+# codec fuzzers, not a deep campaign (go test runs one -fuzz target at a
+# time).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s ./internal/spec/
 	go test -run '^$$' -fuzz '^FuzzParseCoreConfig$$' -fuzztime 30s ./internal/platform/
 	go test -run '^$$' -fuzz '^FuzzInts$$' -fuzztime 30s ./internal/cli/
+	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 30s ./internal/snapshot/
 
 # Regenerate the golden-master corpus after an intentional model change; the
 # resulting testdata/golden diff documents exactly which numbers moved.

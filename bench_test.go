@@ -7,7 +7,9 @@
 package biglittle_test
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"biglittle"
 )
@@ -419,6 +421,61 @@ func BenchmarkExtEDP(b *testing.B) {
 		}
 	}
 	b.ReportMetric(l4Wins, "apps-won-by-L4-or-L4+B1")
+}
+
+// BenchmarkForkSweep times a 32-point governor-tuning grid (8 sample
+// intervals x 4 target loads) through the fork-accelerated lab path: one
+// shared prefix warmed to 95% of the run, then 32 cheap continuations, each
+// applying its tuning at the fork point. The x-vs-cold metric is the
+// wall-clock ratio against the same grid run from scratch (measured once
+// per process); the acceptance bar is >=5x, and the perf gate holds the
+// forked path's time/op alongside it.
+func BenchmarkForkSweep(b *testing.B) {
+	forkJobs, coldJobs := forkSweepJobs()
+	coldOnce.Do(func() {
+		start := time.Now()
+		r := biglittle.NewLabRunner(1, nil)
+		if _, err := r.RunAll(coldJobs); err != nil {
+			b.Fatal(err)
+		}
+		coldSweep = time.Since(start)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := biglittle.NewLabRunner(1, nil)
+		if _, err := r.RunAll(forkJobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	forked := b.Elapsed() / time.Duration(b.N)
+	if forked > 0 {
+		b.ReportMetric(float64(coldSweep)/float64(forked), "x-vs-cold")
+	}
+}
+
+var (
+	coldOnce  sync.Once
+	coldSweep time.Duration
+)
+
+// forkSweepJobs builds the BenchmarkForkSweep grid twice over: the
+// fork-accelerated jobs and their from-scratch equivalents.
+func forkSweepJobs() ([]biglittle.LabJob, []biglittle.LabJob) {
+	app, _ := biglittle.AppByName("encoder")
+	base := biglittle.DefaultConfig(app)
+	base.Duration = benchOpts.Duration
+	spec := &biglittle.LabForkSpec{Base: base, At: base.Duration / 20 * 19}
+	var forkJobs, coldJobs []biglittle.LabJob
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			cfg := base
+			cfg.Gov.SampleMs = 20 + 20*i
+			cfg.Gov.TargetLoad = 70 + 5*j
+			coldJobs = append(coldJobs, biglittle.LabJob{Config: cfg})
+			forkJobs = append(forkJobs, biglittle.LabJob{Config: cfg, Fork: spec})
+		}
+	}
+	return forkJobs, coldJobs
 }
 
 // BenchmarkAblationL2Size: how much of mcf's same-frequency gap the L2-size

@@ -102,7 +102,7 @@ type (
 // NewThread creates a named thread with the given big-core speedup on the
 // context's system.
 func NewThread(ctx *Ctx, name string, speedup float64) *Thread {
-	return workload.NewThread(ctx.Sys, name, speedup)
+	return workload.NewThread(ctx, name, speedup)
 }
 
 // InteractionLoop, Periodic, PoissonBursts, Continuous and TouchKicks expose

@@ -11,10 +11,18 @@
 // sweeps with -remote. `-phases none` runs a coordinator-only server with
 // no live session.
 //
+// With -app, blserve instead drives a checkpointable single-app run: the
+// whole simulation state is captured on demand at /checkpoint as a
+// versioned snapshot blob that Resume continues byte-identically (DESIGN.md
+// §9). Checkpointable runs carry no observers — the snapshot contract
+// excludes them — so the session observability routes 404 in this mode.
+//
 // Usage:
 //
 //	blserve -phases browser:20s,video_player:20s -speed 4
 //	blserve -phases none                      # fleet coordinator only
+//	blserve -app fifa15 -app-duration 2m      # checkpointable live run
+//	curl -o run.blsnap localhost:8377/checkpoint
 //	curl localhost:8377/metrics        # Prometheus text format
 //	curl localhost:8377/snapshot       # JSON attribution tables
 //	curl localhost:8377/tasks/render   # one task's attribution row
@@ -49,16 +57,22 @@ import (
 // loop; HTTP readers see state at most one step stale.
 const step = 100 * biglittle.Millisecond
 
-// server owns the live session and serializes simulation advancement
-// against HTTP reads. live is nil in coordinator-only mode (-phases none);
-// the session routes then report that there is nothing to observe.
+// server owns the live simulation and serializes its advancement against
+// HTTP reads. Exactly one of live/sim is set outside coordinator-only mode:
+// live is the observable multi-app session; sim is a checkpointable
+// single-app run (-app), which trades the observability surface for
+// snapshot capability (the snapshot contract excludes live observers) and
+// serves its state at /checkpoint. With neither (-phases none), the session
+// routes report that there is nothing to observe.
 type server struct {
-	mu   sync.Mutex
-	live *biglittle.LiveSession
-	tel  *biglittle.Telemetry
-	prof *biglittle.Profiler
-	xr   *biglittle.Xray
-	done bool
+	mu     sync.Mutex
+	live   *biglittle.LiveSession
+	sim    *biglittle.Sim
+	simEnd biglittle.Time
+	tel    *biglittle.Telemetry
+	prof   *biglittle.Profiler
+	xr     *biglittle.Xray
+	done   bool
 }
 
 func main() {
@@ -70,6 +84,10 @@ func main() {
 		speed   = flag.Float64("speed", 1.0, "simulated seconds per wall second (0 = free-run)")
 		repeat  = flag.Int("repeat", 0, "times to repeat the phase list (0 = forever)")
 		verbose = flag.Bool("v", false, "log fleet job transitions to stderr")
+
+		appArg = flag.String("app", "",
+			"run a checkpointable single-app simulation instead of a session: its whole state is served at /checkpoint (no telemetry/profiler/xray — the snapshot contract excludes live observers)")
+		appDur = flag.Duration("app-duration", 60*time.Second, "simulated duration of the -app run")
 
 		fleetQueue    = flag.Int("fleet-queue", 1024, "fleet: max pending jobs before 429 backpressure")
 		fleetTTL      = flag.Duration("fleet-lease-ttl", 30*time.Second, "fleet: lease duration before an unrenewed job is requeued")
@@ -87,7 +105,23 @@ func main() {
 
 	tel := biglittle.NewTelemetry()
 	s := &server{tel: tel}
-	if *phasesArg != "none" {
+	switch {
+	case *appArg != "":
+		app, err := biglittle.AppByName(*appArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blserve:", err)
+			os.Exit(1)
+		}
+		cfg := biglittle.DefaultConfig(app)
+		cfg.Seed = *seed
+		cfg.Duration = biglittle.Time(appDur.Nanoseconds())
+		sim, err := biglittle.NewSim(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blserve:", err)
+			os.Exit(1)
+		}
+		s.sim, s.simEnd = sim, cfg.Duration
+	case *phasesArg != "none":
 		phases, err := parsePhases(*phasesArg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -140,6 +174,7 @@ func main() {
 	mux.HandleFunc("/tasks/", s.handleTask)
 	mux.HandleFunc("/xray", s.handleXray)
 	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	coord.Mount(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -157,10 +192,14 @@ func main() {
 			os.Exit(1)
 		}
 	}()
-	fmt.Printf("blserve: listening on http://%s (phases %s, speed %gx, seed %d)\n",
-		*addr, *phasesArg, *speed, *seed)
+	what := "phases " + *phasesArg
+	if s.sim != nil {
+		what = fmt.Sprintf("checkpointable app %s for %v", *appArg, *appDur)
+	}
+	fmt.Printf("blserve: listening on http://%s (%s, speed %gx, seed %d)\n",
+		*addr, what, *speed, *seed)
 
-	if s.live != nil {
+	if s.live != nil || s.sim != nil {
 		s.simLoop(ctx, *speed)
 	} else {
 		<-ctx.Done()
@@ -182,6 +221,22 @@ func main() {
 	fs := coord.Stats()
 	fmt.Printf("\nblserve: fleet: %d jobs completed, %d failed, %d retries, %d cache hits\n",
 		fs.Completed, fs.FailedJobs, fs.Retries, fs.CacheHits)
+	if s.sim != nil {
+		s.mu.Lock()
+		now, done := s.sim.Now(), s.done
+		var res biglittle.Result
+		if done {
+			res = s.sim.Finish()
+		}
+		s.mu.Unlock()
+		if done {
+			fmt.Printf("blserve: run complete: %s: %.1f J, avg %.0f mW, %.1f fps, big %.1f%%\n",
+				res.App, res.EnergyMJ/1000, res.AvgPowerMW, res.AvgFPS, res.TLP.BigPct)
+		} else {
+			fmt.Printf("blserve: stopped at sim t=%v (checkpoint was available at /checkpoint)\n", now)
+		}
+		return
+	}
 	if s.live == nil {
 		return
 	}
@@ -211,11 +266,17 @@ func (s *server) simLoop(ctx context.Context, speed float64) {
 		default:
 		}
 		s.mu.Lock()
-		done := s.live.Advance(s.live.Now() + step)
+		var done bool
+		if s.sim != nil {
+			s.sim.RunTo(s.sim.Now() + step)
+			done = s.sim.Now() >= s.simEnd
+		} else {
+			done = s.live.Advance(s.live.Now() + step)
+		}
 		s.done = done
 		s.mu.Unlock()
 		if done {
-			fmt.Println("blserve: session complete; serving final state until interrupted")
+			fmt.Println("blserve: simulation complete; serving final state until interrupted")
 			<-ctx.Done()
 			return
 		}
@@ -254,14 +315,50 @@ func parsePhases(arg string) ([]biglittle.SessionPhase, error) {
 	return phases, nil
 }
 
-// noSession replies 404 on session-observability routes when blserve runs
-// coordinator-only (-phases none); returns true when it handled the request.
+// noSession replies 404 on session-observability routes when there is no
+// observable session (coordinator-only mode, or a checkpointable -app run,
+// which carries no observers); returns true when it handled the request.
 func (s *server) noSession(w http.ResponseWriter) bool {
 	if s.live != nil {
 		return false
 	}
-	http.Error(w, "no live session: blserve is running as a fleet coordinator (-phases none)", http.StatusNotFound)
+	msg := "no live session: blserve is running as a fleet coordinator (-phases none)"
+	if s.sim != nil {
+		msg = "no live session: blserve is running a checkpointable single-app simulation (-app), which carries no observers; see /checkpoint"
+	}
+	http.Error(w, msg, http.StatusNotFound)
 	return true
+}
+
+// handleCheckpoint serves the live run's whole-simulation snapshot in its
+// versioned wire form — `curl -o run.blsnap .../checkpoint` captures a
+// running experiment, and biglittle.DecodeSnapshot/Resume continue it
+// elsewhere, byte-identical to never having stopped (DESIGN.md §9).
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.sim == nil {
+		if s.live != nil {
+			http.Error(w, "checkpointing needs a single-app run (-app <name>): sessions carry live observers (telemetry, profiler, xray), which the snapshot contract excludes", http.StatusConflict)
+			return
+		}
+		http.Error(w, "no live simulation to checkpoint: start blserve with -app <name>", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	now := s.sim.Now()
+	st, err := s.sim.Snapshot()
+	var blob []byte
+	if err == nil {
+		blob, err = biglittle.EncodeSnapshot(st)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, "checkpoint: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("checkpoint-%v.blsnap", now)))
+	w.Header().Set("X-Sim-Time-Ns", fmt.Sprintf("%d", int64(now)))
+	w.Write(blob)
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -270,7 +367,16 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	banner := "blserve: fleet coordinator (no live session)"
-	if s.live != nil {
+	if s.sim != nil {
+		s.mu.Lock()
+		now, done := s.sim.Now(), s.done
+		s.mu.Unlock()
+		state := "running"
+		if done {
+			state = "complete"
+		}
+		banner = fmt.Sprintf("blserve: checkpointable big.LITTLE simulation (sim t=%v, %s)", now, state)
+	} else if s.live != nil {
 		s.mu.Lock()
 		now, phase := s.live.Now(), s.live.Phase()
 		if s.done {
@@ -287,6 +393,7 @@ endpoints:
   /tasks/<name>   one task's attribution row
   /xray           causal decision flight recorder (last spans, JSON; pipe to blxray)
   /diff           POST {"a": <xray dump>, "b": <xray dump>}: first divergent decision
+  /checkpoint     whole-simulation snapshot of a -app run (versioned wire blob; resumable)
   /fleet/jobs     POST a job spec; /fleet/jobs/{id} polls it (distributed lab)
   /fleet/stats    fleet queue/lease/worker snapshot (also: bllab fleet)
   /healthz        liveness; /readyz flips 503 while draining

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -38,6 +39,7 @@ func testServer(t *testing.T) (*server, http.Handler) {
 	mux.HandleFunc("/tasks/", s.handleTask)
 	mux.HandleFunc("/xray", s.handleXray)
 	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	coord := biglittle.NewFleetCoordinator(biglittle.FleetOptions{Tel: tel})
 	t.Cleanup(coord.Close)
 	coord.Mount(mux)
@@ -56,10 +58,40 @@ func coordinatorOnlyServer(t *testing.T) http.Handler {
 	mux.HandleFunc("/tasks/", s.handleTask)
 	mux.HandleFunc("/xray", s.handleXray)
 	mux.HandleFunc("/diff", s.handleDiff)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	coord := biglittle.NewFleetCoordinator(biglittle.FleetOptions{Tel: tel})
 	t.Cleanup(coord.Close)
 	coord.Mount(mux)
 	return mux
+}
+
+// checkpointServer is testServer for -app mode: a checkpointable single-app
+// run advanced mid-way, with the same route table.
+func checkpointServer(t *testing.T) (*server, http.Handler) {
+	t.Helper()
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 2 * biglittle.Second
+	sim, err := biglittle.NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := biglittle.NewTelemetry()
+	s := &server{sim: sim, simEnd: cfg.Duration, tel: tel}
+	sim.RunTo(1 * biglittle.Second)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	coord := biglittle.NewFleetCoordinator(biglittle.FleetOptions{Tel: tel})
+	t.Cleanup(coord.Close)
+	coord.Mount(mux)
+	return s, mux
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -197,6 +229,82 @@ func TestIndexListsDiff(t *testing.T) {
 		if !strings.Contains(rec.Body.String(), want) {
 			t.Fatalf("index does not list %s:\n%s", want, rec.Body)
 		}
+	}
+}
+
+// TestCheckpointEndpoint pins the live-checkpoint contract: /checkpoint on a
+// -app run serves a versioned snapshot blob that decodes, resumes, and runs
+// out byte-identical to the run it was captured from.
+func TestCheckpointEndpoint(t *testing.T) {
+	s, h := checkpointServer(t)
+	rec := get(t, h, "/checkpoint")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /checkpoint = %d, want 200; body: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Content-Type = %q, want application/octet-stream", ct)
+	}
+	if at := rec.Header().Get("X-Sim-Time-Ns"); at == "" || at == "0" {
+		t.Fatalf("X-Sim-Time-Ns = %q, want the capture time", at)
+	}
+
+	st, err := biglittle.DecodeSnapshot(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("served checkpoint does not decode: %v", err)
+	}
+	app, err := biglittle.AppByName("bbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := biglittle.DefaultConfig(app)
+	cfg.Duration = 2 * biglittle.Second
+	resumed, err := biglittle.Resume(cfg, st)
+	if err != nil {
+		t.Fatalf("served checkpoint does not resume: %v", err)
+	}
+	resumed.RunTo(cfg.Duration)
+	got := resumed.Finish()
+	if want := biglittle.Run(cfg); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed checkpoint diverges from the uninterrupted run")
+	}
+
+	// The server's own run, continued in place, is undisturbed by having
+	// been checkpointed.
+	s.mu.Lock()
+	s.sim.RunTo(cfg.Duration)
+	own := s.sim.Finish()
+	s.mu.Unlock()
+	if !reflect.DeepEqual(own, got) {
+		t.Fatal("checkpointing perturbed the live run")
+	}
+}
+
+// TestCheckpointModeRoutes pins /checkpoint's error contract in the other
+// two modes and the session routes' behavior in -app mode.
+func TestCheckpointModeRoutes(t *testing.T) {
+	_, session := testServer(t)
+	rec := get(t, session, "/checkpoint")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("GET /checkpoint on a session = %d, want 409", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "observers") {
+		t.Fatalf("session checkpoint error does not explain the observer exclusion: %s", rec.Body)
+	}
+
+	coord := coordinatorOnlyServer(t)
+	if rec := get(t, coord, "/checkpoint"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /checkpoint with no simulation = %d, want 404", rec.Code)
+	}
+
+	// In -app mode the observability routes explain themselves instead of
+	// panicking on the nil session.
+	_, appMode := checkpointServer(t)
+	rec = get(t, appMode, "/snapshot")
+	if rec.Code != http.StatusNotFound || !strings.Contains(rec.Body.String(), "/checkpoint") {
+		t.Fatalf("GET /snapshot in -app mode = %d (%s), want 404 pointing at /checkpoint", rec.Code, rec.Body)
+	}
+	if rec := get(t, appMode, "/"); !strings.Contains(rec.Body.String(), "checkpointable") {
+		t.Fatalf("index does not announce checkpointable mode:\n%s", rec.Body)
 	}
 }
 

@@ -10,6 +10,14 @@
 //
 //	blsweep -param sample-ms -values 10,20,40,60,80,100 -app bbench
 //	blsweep -param up-threshold -values 500,600,700,800,900 > sweep.csv
+//
+// With -fork-at, the sweep is snapshot-accelerated: one warmed prefix per
+// app (the config with the swept parameter at its default) runs to the fork
+// time, and every swept value resumes from that shared snapshot — the knob
+// takes effect at the fork point, isolating its post-warmup effect and
+// collapsing N full runs into one prefix plus N cheap continuations:
+//
+//	blsweep -param sample-ms -values 10,20,40,60,80,100 -fork-at 10s
 package main
 
 import (
@@ -36,6 +44,7 @@ func main() {
 		param   = flag.String("param", "sample-ms", "parameter to sweep: sample-ms|target-load|up-threshold|down-threshold|weight-ms")
 		values  = flag.String("values", "10,20,40,60,80,100", "comma-separated values")
 		appName = flag.String("app", "", "single app (default: all twelve)")
+		forkAt  = flag.Duration("fork-at", 0, "snapshot-accelerate the sweep: fork each value from a shared prefix warmed to this time (0 = off; swept values take effect at the fork point)")
 	)
 	flag.Parse()
 
@@ -60,18 +69,29 @@ func main() {
 		os.Exit(1)
 	}
 
-	var cfgs []biglittle.Config
+	if *forkAt < 0 || biglittle.Time(forkAt.Nanoseconds()) >= biglittle.Time(ex.Duration.Nanoseconds()) {
+		if *forkAt != 0 {
+			fmt.Fprintf(os.Stderr, "blsweep: -fork-at %v must fall inside the run (0, %v)\n", *forkAt, ex.Duration)
+			os.Exit(1)
+		}
+	}
+	var jobs []biglittle.LabJob
 	for _, app := range appsToRun {
+		base := biglittle.DefaultConfig(app)
+		base.Seed = ex.Seed
+		base.Duration = biglittle.Time(ex.Duration.Nanoseconds())
+		var spec *biglittle.LabForkSpec
+		if *forkAt > 0 {
+			spec = &biglittle.LabForkSpec{Base: base, At: biglittle.Time(forkAt.Nanoseconds())}
+		}
 		for _, v := range vals {
-			cfg := biglittle.DefaultConfig(app)
-			cfg.Seed = ex.Seed
-			cfg.Duration = biglittle.Time(ex.Duration.Nanoseconds())
+			cfg := base
 			setter(&cfg, v)
-			cfgs = append(cfgs, cfg)
+			jobs = append(jobs, biglittle.LabJob{Config: cfg, Fork: spec})
 		}
 	}
 	start := time.Now()
-	results, err := runner.RunConfigs(cfgs)
+	results, err := runner.RunAll(jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blsweep:", err)
 		os.Exit(1)

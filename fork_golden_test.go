@@ -1,0 +1,91 @@
+package biglittle_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"biglittle"
+)
+
+// TestForkGoldenCorpus pushes every app on every §V-C hotplug configuration
+// through the snapshot/fork path — one warmed prefix per (app, config),
+// snapshotted at 25%, 50%, and 75% of the run, each snapshot resumed to the
+// end — and requires the rendered output to match testdata/golden byte for
+// byte. There is deliberately NO update path here: the corpus is written
+// only by from-scratch runs (golden_test.go), so this test can never mask a
+// fork divergence by regenerating the files it checks against.
+func TestForkGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork corpus skipped in -short mode")
+	}
+	fracs := []struct {
+		name string
+		num  biglittle.Time
+	}{{"25%", 1}, {"50%", 2}, {"75%", 3}}
+
+	for _, app := range biglittle.Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join("testdata", "golden", app.Name+".txt")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file for %s: %v", app.Name, err)
+			}
+
+			// One render per fork fraction, each spanning all study configs —
+			// the same layout golden_test.go writes.
+			renders := make([]strings.Builder, len(fracs))
+			for i := range renders {
+				fmt.Fprintf(&renders[i], "golden master: %s, seed 1, %v per config\n",
+					app.Name, biglittle.GoldenDuration)
+			}
+
+			for _, cc := range biglittle.StudyConfigs() {
+				cfg := biglittle.DefaultConfig(app)
+				cfg.Duration = biglittle.GoldenDuration
+				cfg.Cores = cc
+
+				// One prefix run per config, snapshotted three times.
+				sim, err := biglittle.NewSim(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snaps := make([]*biglittle.Snapshot, len(fracs))
+				for i, f := range fracs {
+					sim.RunTo(cfg.Duration * f.num / 4)
+					st, err := sim.Snapshot()
+					if err != nil {
+						t.Fatalf("%v snapshot at %s: %v", cc, f.name, err)
+					}
+					// Round-trip the codec so the corpus also pins the wire form.
+					blob, err := biglittle.EncodeSnapshot(st)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if snaps[i], err = biglittle.DecodeSnapshot(blob); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := range fracs {
+					forked, err := biglittle.Resume(cfg, snaps[i])
+					if err != nil {
+						t.Fatalf("%v resume at %s: %v", cc, fracs[i].name, err)
+					}
+					forked.RunTo(cfg.Duration)
+					renders[i].WriteString(biglittle.RenderGolden(cc, forked.Finish()))
+				}
+			}
+
+			for i, f := range fracs {
+				if got := renders[i].String(); got != string(want) {
+					t.Errorf("fork at %s diverges from the golden corpus:\n%s",
+						f.name, biglittle.ExplainTextDiff(string(want), got))
+				}
+			}
+		})
+	}
+}

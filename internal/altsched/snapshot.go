@@ -1,0 +1,37 @@
+package altsched
+
+import (
+	"fmt"
+
+	"biglittle/internal/event"
+)
+
+// EASSnap is the EAS policy's dynamic state for whole-simulation snapshot:
+// the overutilization escape-hatch latch and its per-core busy baselines.
+// Efficiency and Parallelism are stateless and need no snapshot.
+type EASSnap struct {
+	LastBusy      []event.Time `json:"lastBusy"`
+	LastCheck     event.Time   `json:"lastCheck"`
+	OverUtilUntil event.Time   `json:"overUtilUntil"`
+}
+
+// Snapshot captures the policy's dynamic state without modifying it.
+func (e *EAS) Snapshot() EASSnap {
+	return EASSnap{
+		LastBusy:      append([]event.Time(nil), e.lastBusy...),
+		LastCheck:     e.lastCheck,
+		OverUtilUntil: e.overUtilUntil,
+	}
+}
+
+// Restore loads sn into a freshly attached policy.
+func (e *EAS) Restore(sn *EASSnap) error {
+	if len(sn.LastBusy) != len(e.lastBusy) {
+		return fmt.Errorf("altsched: snapshot has %d core entries, policy has %d",
+			len(sn.LastBusy), len(e.lastBusy))
+	}
+	copy(e.lastBusy, sn.LastBusy)
+	e.lastCheck = sn.LastCheck
+	e.overUtilUntil = sn.OverUtilUntil
+	return nil
+}

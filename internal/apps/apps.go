@@ -83,8 +83,8 @@ func newPhase(ctx *workload.Ctx, normal, heavy float64, normalDur, heavyDur even
 		start := t
 		t += ctx.Exp(heavyDur)
 		end := t
-		ctx.Eng.At(start, func(event.Time) { p.cur = p.heavy })
-		ctx.Eng.At(end, func(event.Time) { p.cur = p.normal })
+		ctx.At(start, func(event.Time) { p.cur = p.heavy })
+		ctx.At(end, func(event.Time) { p.cur = p.normal })
 	}
 	return p
 }
@@ -97,9 +97,9 @@ func newPhase(ctx *workload.Ctx, normal, heavy float64, normalDur, heavyDur even
 // in the 10 ms samples, reproducing the paper's low idle fractions and the
 // Table V dominance of the "min" state.
 func backgroundHum(ctx *workload.Ctx, prefix string, meanGap event.Time, p2, p3 float64) {
-	a := workload.NewThread(ctx.Sys, prefix+".sys1", 1.3)
-	b := workload.NewThread(ctx.Sys, prefix+".sys2", 1.3)
-	c := workload.NewThread(ctx.Sys, prefix+".sys3", 1.3)
+	a := workload.NewThread(ctx, prefix+".sys1", 1.3)
+	b := workload.NewThread(ctx, prefix+".sys2", 1.3)
+	c := workload.NewThread(ctx, prefix+".sys3", 1.3)
 	var arrive func(now event.Time)
 	arrive = func(now event.Time) {
 		if now >= ctx.Duration {
@@ -112,9 +112,9 @@ func backgroundHum(ctx *workload.Ctx, prefix string, meanGap event.Time, p2, p3 
 		if ctx.Rng.Float64() < p3 {
 			c.Push(ctx.Jitter(0.25*mc, 0.5), nil)
 		}
-		ctx.Eng.At(now+ctx.Exp(meanGap), arrive)
+		ctx.At(now+ctx.Exp(meanGap), arrive)
 	}
-	ctx.Eng.After(ctx.Exp(meanGap), arrive)
+	ctx.After(ctx.Exp(meanGap), arrive)
 }
 
 // frameChain runs a game/video frame pipeline: every period, stage work
@@ -159,10 +159,10 @@ func frameChain(ctx *workload.Ctx, period event.Time, logic frameStage, parallel
 			return
 		}
 		if end := paused(now); end > 0 {
-			ctx.Eng.At(end, tick)
+			ctx.At(end, tick)
 			return
 		}
-		ctx.Eng.At(now+period, tick)
+		ctx.At(now+period, tick)
 		if inFlight >= 2 {
 			return // frame dropped
 		}
@@ -189,7 +189,7 @@ func frameChain(ctx *workload.Ctx, period event.Time, logic frameStage, parallel
 			}
 		})
 	}
-	ctx.Eng.After(0, tick)
+	ctx.After(0, tick)
 }
 
 func jit(ctx *workload.Ctx, mean, cv float64) func() float64 {
@@ -243,11 +243,11 @@ func PDFReader() App {
 	return App{
 		Name: "pdf_reader", Desc: "Open and read a pdf file", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			ui := workload.NewThread(ctx.Sys, "pdf.ui", 1.5)
-			parser := workload.NewThread(ctx.Sys, "pdf.parse", 1.7)
-			render := workload.NewThread(ctx.Sys, "pdf.render", 1.8)
-			raster := workload.NewThread(ctx.Sys, "pdf.raster", 1.8)
-			compose := workload.NewThread(ctx.Sys, "pdf.compose", 1.5)
+			ui := workload.NewThread(ctx, "pdf.ui", 1.5)
+			parser := workload.NewThread(ctx, "pdf.parse", 1.7)
+			render := workload.NewThread(ctx, "pdf.render", 1.8)
+			raster := workload.NewThread(ctx, "pdf.raster", 1.8)
+			compose := workload.NewThread(ctx, "pdf.compose", 1.5)
 
 			workload.InteractionLoop(ctx, workload.InteractionConfig{
 				Think: 420 * ms, ThinkCV: 0.5,
@@ -273,11 +273,11 @@ func VideoEditor() App {
 	return App{
 		Name: "video_editor", Desc: "Edit a video file", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			ui := workload.NewThread(ctx.Sys, "vedit.ui", 1.5)
-			dec1 := workload.NewThread(ctx.Sys, "vedit.dec1", 2.0)
-			dec2 := workload.NewThread(ctx.Sys, "vedit.dec2", 2.0)
-			fx := workload.NewThread(ctx.Sys, "vedit.fx", 2.0)
-			preview := workload.NewThread(ctx.Sys, "vedit.preview", 1.7)
+			ui := workload.NewThread(ctx, "vedit.ui", 1.5)
+			dec1 := workload.NewThread(ctx, "vedit.dec1", 2.0)
+			dec2 := workload.NewThread(ctx, "vedit.dec2", 2.0)
+			fx := workload.NewThread(ctx, "vedit.fx", 2.0)
+			preview := workload.NewThread(ctx, "vedit.preview", 1.7)
 
 			workload.InteractionLoop(ctx, workload.InteractionConfig{
 				Think: 500 * ms, ThinkCV: 0.6,
@@ -302,9 +302,9 @@ func PhotoEditor() App {
 	return App{
 		Name: "photo_editor", Desc: "Edit a photo", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			ui := workload.NewThread(ctx.Sys, "pedit.ui", 1.5)
-			filter := workload.NewThread(ctx.Sys, "pedit.filter", 2.0)
-			preview := workload.NewThread(ctx.Sys, "pedit.preview", 1.6)
+			ui := workload.NewThread(ctx, "pedit.ui", 1.5)
+			filter := workload.NewThread(ctx, "pedit.filter", 2.0)
+			preview := workload.NewThread(ctx, "pedit.preview", 1.6)
 
 			workload.InteractionLoop(ctx, workload.InteractionConfig{
 				Think: 500 * ms, ThinkCV: 0.6,
@@ -329,14 +329,14 @@ func BBench() App {
 	return App{
 		Name: "bbench", Desc: "Run bbench on chrome browser", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			net1 := workload.NewThread(ctx.Sys, "bb.net1", 1.5)
-			net2 := workload.NewThread(ctx.Sys, "bb.net2", 1.5)
-			js := workload.NewThread(ctx.Sys, "bb.js", 1.9)
-			layout := workload.NewThread(ctx.Sys, "bb.layout", 1.8)
-			img1 := workload.NewThread(ctx.Sys, "bb.img1", 1.9)
-			img2 := workload.NewThread(ctx.Sys, "bb.img2", 1.9)
-			paint := workload.NewThread(ctx.Sys, "bb.paint", 1.7)
-			comp := workload.NewThread(ctx.Sys, "bb.comp", 1.6)
+			net1 := workload.NewThread(ctx, "bb.net1", 1.5)
+			net2 := workload.NewThread(ctx, "bb.net2", 1.5)
+			js := workload.NewThread(ctx, "bb.js", 1.9)
+			layout := workload.NewThread(ctx, "bb.layout", 1.8)
+			img1 := workload.NewThread(ctx, "bb.img1", 1.9)
+			img2 := workload.NewThread(ctx, "bb.img2", 1.9)
+			paint := workload.NewThread(ctx, "bb.paint", 1.7)
+			comp := workload.NewThread(ctx, "bb.comp", 1.6)
 
 			workload.InteractionLoop(ctx, workload.InteractionConfig{
 				Think: 25 * ms, ThinkCV: 0.5,
@@ -362,10 +362,10 @@ func VirusScanner() App {
 	return App{
 		Name: "virus_scanner", Desc: "Scan applications and storages", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			io := workload.NewThread(ctx.Sys, "scan.io", 1.4)
-			scan := workload.NewThread(ctx.Sys, "scan.engine", 1.9)
-			hash := workload.NewThread(ctx.Sys, "scan.hash", 1.8)
-			ui := workload.NewThread(ctx.Sys, "scan.ui", 1.4)
+			io := workload.NewThread(ctx, "scan.io", 1.4)
+			scan := workload.NewThread(ctx, "scan.engine", 1.9)
+			hash := workload.NewThread(ctx, "scan.hash", 1.8)
+			ui := workload.NewThread(ctx, "scan.ui", 1.4)
 
 			workload.InteractionLoop(ctx, workload.InteractionConfig{
 				Think: 18 * ms, ThinkCV: 0.8,
@@ -388,12 +388,12 @@ func Browser() App {
 	return App{
 		Name: "browser", Desc: "Visit a site on chrome browser", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			input := workload.NewThread(ctx.Sys, "br.input", 1.5)
-			net := workload.NewThread(ctx.Sys, "br.net", 1.5)
-			js := workload.NewThread(ctx.Sys, "br.js", 1.9)
-			layout := workload.NewThread(ctx.Sys, "br.layout", 1.8)
-			img := workload.NewThread(ctx.Sys, "br.img", 1.9)
-			paint := workload.NewThread(ctx.Sys, "br.paint", 1.7)
+			input := workload.NewThread(ctx, "br.input", 1.5)
+			net := workload.NewThread(ctx, "br.net", 1.5)
+			js := workload.NewThread(ctx, "br.js", 1.9)
+			layout := workload.NewThread(ctx, "br.layout", 1.8)
+			img := workload.NewThread(ctx, "br.img", 1.9)
+			paint := workload.NewThread(ctx, "br.paint", 1.7)
 
 			workload.InteractionLoop(ctx, workload.InteractionConfig{
 				Think: 1800 * ms, ThinkCV: 0.5,
@@ -429,8 +429,8 @@ func Encoder() App {
 	return App{
 		Name: "encoder", Desc: "Encode a file", Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			enc := workload.NewThread(ctx.Sys, "enc.worker", 1.6)
-			reader := workload.NewThread(ctx.Sys, "enc.reader", 1.4)
+			enc := workload.NewThread(ctx, "enc.worker", 1.6)
+			reader := workload.NewThread(ctx, "enc.reader", 1.4)
 
 			// Chunk pipeline: CPU chunk then an IO gap; latency is recorded
 			// per chunk so the scenario latency is the sum.
@@ -442,7 +442,7 @@ func Encoder() App {
 				start := now
 				// Read wait, then the CPU chunk; the latency of a chunk
 				// includes both, as on the real device.
-				ctx.Eng.At(now+ctx.Exp(15*ms), func(at event.Time) {
+				ctx.At(now+ctx.Exp(15*ms), func(at event.Time) {
 					reader.Push(1.2*mc, nil)
 					enc.Push(ctx.Jitter(45*mc, 0.3), func(fin event.Time) {
 						if ctx.Lat != nil {
@@ -452,7 +452,7 @@ func Encoder() App {
 					})
 				})
 			}
-			ctx.Eng.After(5*ms, chunk)
+			ctx.After(5*ms, chunk)
 			backgroundHum(ctx, "enc", 12*ms, 0.15, 0)
 		},
 	}
@@ -465,10 +465,10 @@ func AngryBird() App {
 	return App{
 		Name: "angry_bird", Desc: "Shooting game with physics engine", Metric: FPS,
 		Build: func(ctx *workload.Ctx) {
-			logic := workload.NewThread(ctx.Sys, "ab.logic", 1.6)
-			physics := workload.NewThread(ctx.Sys, "ab.physics", 1.7)
-			render := workload.NewThread(ctx.Sys, "ab.render", 1.7)
-			audio := workload.NewThread(ctx.Sys, "ab.audio", 1.3)
+			logic := workload.NewThread(ctx, "ab.logic", 1.6)
+			physics := workload.NewThread(ctx, "ab.physics", 1.7)
+			render := workload.NewThread(ctx, "ab.render", 1.7)
+			audio := workload.NewThread(ctx, "ab.audio", 1.3)
 
 			frameChain(ctx, 16667000,
 				frameStage{logic, jit(ctx, 3.8*mc, 0.35)},
@@ -491,10 +491,10 @@ func EternityWarrior() App {
 	return App{
 		Name: "eternity_warrior", Desc: "3D action RPG game", Metric: FPS,
 		Build: func(ctx *workload.Ctx) {
-			logic := workload.NewThread(ctx.Sys, "ew.logic", 1.7)
-			render := workload.NewThread(ctx.Sys, "ew.render", 1.9)
-			physics := workload.NewThread(ctx.Sys, "ew.physics", 1.7)
-			audio := workload.NewThread(ctx.Sys, "ew.audio", 1.3)
+			logic := workload.NewThread(ctx, "ew.logic", 1.7)
+			render := workload.NewThread(ctx, "ew.render", 1.9)
+			physics := workload.NewThread(ctx, "ew.physics", 1.7)
+			audio := workload.NewThread(ctx, "ew.audio", 1.3)
 
 			scene := newPhase(ctx, 7*mc, 28*mc, 4000*ms, 2000*ms)
 			frameChain(ctx, 16667000,
@@ -516,10 +516,10 @@ func FIFA15() App {
 	return App{
 		Name: "fifa15", Desc: "3D sport game", Metric: FPS,
 		Build: func(ctx *workload.Ctx) {
-			logic := workload.NewThread(ctx.Sys, "ff.logic", 1.7)
-			render := workload.NewThread(ctx.Sys, "ff.render", 1.9)
-			ai := workload.NewThread(ctx.Sys, "ff.ai", 1.7)
-			audio := workload.NewThread(ctx.Sys, "ff.audio", 1.3)
+			logic := workload.NewThread(ctx, "ff.logic", 1.7)
+			render := workload.NewThread(ctx, "ff.render", 1.9)
+			ai := workload.NewThread(ctx, "ff.ai", 1.7)
+			audio := workload.NewThread(ctx, "ff.audio", 1.3)
 
 			scene := newPhase(ctx, 8*mc, 52*mc, 5200*ms, 1100*ms)
 			frameChain(ctx, 33333000,
@@ -543,10 +543,10 @@ func VideoPlayer() App {
 	return App{
 		Name: "video_player", Desc: "Play a video file", Metric: FPS,
 		Build: func(ctx *workload.Ctx) {
-			demux := workload.NewThread(ctx.Sys, "vp.demux", 1.4)
-			sync := workload.NewThread(ctx.Sys, "vp.sync", 1.4)
-			render := workload.NewThread(ctx.Sys, "vp.render", 1.5)
-			audio := workload.NewThread(ctx.Sys, "vp.audio", 1.3)
+			demux := workload.NewThread(ctx, "vp.demux", 1.4)
+			sync := workload.NewThread(ctx, "vp.sync", 1.4)
+			render := workload.NewThread(ctx, "vp.render", 1.5)
+			audio := workload.NewThread(ctx, "vp.audio", 1.3)
 
 			frameChain(ctx, 33333000,
 				frameStage{demux, jit(ctx, 0.9*mc, 0.4)},
@@ -567,11 +567,11 @@ func Youtube() App {
 	return App{
 		Name: "youtube", Desc: "Search and play a video", Metric: FPS,
 		Build: func(ctx *workload.Ctx) {
-			demux := workload.NewThread(ctx.Sys, "yt.demux", 1.4)
-			sync := workload.NewThread(ctx.Sys, "yt.sync", 1.4)
-			render := workload.NewThread(ctx.Sys, "yt.render", 1.5)
-			audio := workload.NewThread(ctx.Sys, "yt.audio", 1.3)
-			net := workload.NewThread(ctx.Sys, "yt.net", 1.4)
+			demux := workload.NewThread(ctx, "yt.demux", 1.4)
+			sync := workload.NewThread(ctx, "yt.sync", 1.4)
+			render := workload.NewThread(ctx, "yt.render", 1.5)
+			audio := workload.NewThread(ctx, "yt.audio", 1.3)
+			net := workload.NewThread(ctx, "yt.net", 1.4)
 
 			frameChain(ctx, 33333000,
 				frameStage{demux, jit(ctx, 0.9*mc, 0.4)},
@@ -598,7 +598,7 @@ func Stress(n int) App {
 		Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
 			for i := 0; i < n; i++ {
-				th := workload.NewThread(ctx.Sys, fmt.Sprintf("stress.%d", i), 2.0)
+				th := workload.NewThread(ctx, fmt.Sprintf("stress.%d", i), 2.0)
 				workload.Continuous(ctx, th, 50*mc)
 			}
 		},
@@ -617,7 +617,7 @@ func Micro(dutyPct, pinnedMHz, pinCore int) App {
 		Desc:   fmt.Sprintf("utilization microbenchmark at %d%%", dutyPct),
 		Metric: Latency,
 		Build: func(ctx *workload.Ctx) {
-			th := workload.NewThread(ctx.Sys, "micro.spin", 1.0)
+			th := workload.NewThread(ctx, "micro.spin", 1.0)
 			if pinCore >= 0 {
 				th.Task.Pin(pinCore)
 			}

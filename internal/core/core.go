@@ -7,10 +7,6 @@
 package core
 
 import (
-	"math/rand"
-	"sort"
-
-	"biglittle/internal/altsched"
 	"biglittle/internal/apps"
 	"biglittle/internal/delta"
 	"biglittle/internal/event"
@@ -20,9 +16,9 @@ import (
 	"biglittle/internal/power"
 	"biglittle/internal/profile"
 	"biglittle/internal/sched"
+	"biglittle/internal/snapshot"
 	"biglittle/internal/telemetry"
 	"biglittle/internal/thermal"
-	"biglittle/internal/workload"
 	"biglittle/internal/xray"
 )
 
@@ -171,6 +167,17 @@ type Config struct {
 	// first-divergence finder bisects when two configs are compared. Like
 	// the other observers it is pure and nil-disabled at zero cost.
 	Digest *delta.Recorder
+
+	// SnapshotAt, when positive, makes Run capture a whole-simulation
+	// snapshot at that time and hand it to OnSnapshot before continuing to
+	// Duration (see internal/snapshot and DESIGN.md §9). Snapshot-enabled
+	// runs record the workload's interactions, so they are modestly slower
+	// than plain runs but produce byte-identical Results; they reject the
+	// observer hooks Resume cannot reconstruct (Check, Telemetry, Profiler,
+	// Xray, OnSystem). Zero (the default) disables capture entirely.
+	SnapshotAt event.Time
+	// OnSnapshot receives the state captured at SnapshotAt.
+	OnSnapshot func(st *snapshot.State)
 }
 
 // Checker is the runtime invariant auditor hook. *check.Auditor implements
@@ -292,189 +299,31 @@ func (c Config) Normalized() Config {
 	return c
 }
 
-// Run executes one simulation and gathers its Result.
+// Run executes one simulation and gathers its Result. When SnapshotAt is
+// set, the run pauses at that time to capture a whole-simulation snapshot
+// (handed to OnSnapshot), then continues — the Result is byte-identical
+// either way.
 func Run(cfg Config) Result {
 	cfg = cfg.Normalized()
-
-	eng := event.New()
-	var soc *platform.SoC
-	switch {
-	case cfg.Platform != nil:
-		soc = cfg.Platform()
-	case cfg.Cores.Tiny > 0:
-		soc = platform.Exynos5422Tiny()
-	default:
-		soc = platform.Exynos5422()
+	if cfg.SnapshotAt <= 0 {
+		sim := newSim(cfg, nil)
+		sim.eng.Run(cfg.Duration)
+		return sim.Finish()
 	}
-	if err := cfg.Cores.Apply(soc); err != nil {
+	sim, err := NewSim(cfg)
+	if err != nil {
 		panic(err) // configurations are validated values; misuse is a bug
 	}
-	sys := sched.New(eng, soc, cfg.Sched)
-	sys.Tel = cfg.Telemetry
-	sys.Prof = cfg.Profiler
-	sys.Xray = cfg.Xray
-	pw := cfg.Power
-	sys.EnergyModel = func(typ platform.CoreType, mhz int) float64 {
-		return pw.CorePowerMW(typ, mhz, 1) - pw.CorePowerMW(typ, mhz, 0)
+	sim.RunTo(cfg.SnapshotAt)
+	st, err := sim.Snapshot()
+	if err != nil {
+		panic(err)
 	}
-	sys.Start()
-
-	switch cfg.Scheduler {
-	case EfficiencyBased:
-		altsched.NewEfficiency(sys)
-	case ParallelismAware:
-		altsched.NewParallelism(sys)
-	case EAS:
-		altsched.NewEAS(sys, cfg.Power)
+	if cfg.OnSnapshot != nil {
+		cfg.OnSnapshot(st)
 	}
-
-	switch cfg.Governor {
-	case Performance:
-		governor.NewPerformance(sys).Start()
-	case Powersave:
-		governor.NewPowersave(sys).Start()
-	case Userspace:
-		governor.NewUserspace(sys, cfg.PinnedMHz).Start()
-	case Ondemand:
-		g := governor.NewOndemand(sys, cfg.Gov.SampleMs, 80)
-		g.Tel = cfg.Telemetry
-		g.Xray = cfg.Xray
-		g.Start()
-	case Conservative:
-		g := governor.NewConservative(sys, cfg.Gov.SampleMs, 80, 35)
-		g.Tel = cfg.Telemetry
-		g.Xray = cfg.Xray
-		g.Start()
-	case PAST:
-		g := governor.NewPAST(sys, cfg.Gov.SampleMs)
-		g.Tel = cfg.Telemetry
-		g.Xray = cfg.Xray
-		g.Start()
-	default:
-		g := governor.NewInteractive(sys, cfg.Gov)
-		g.Tel = cfg.Telemetry
-		g.Xray = cfg.Xray
-		g.Start()
-	}
-
-	sampler := metrics.NewSampler(sys, cfg.Power)
-	sampler.Tel = cfg.Telemetry
-	sampler.Prof = cfg.Profiler
-	sampler.Start()
-
-	// The auditor attaches directly after the sampler so its sampling events
-	// always fire right after the sampler's and both read identical state.
-	if cfg.Check != nil {
-		cfg.Check.Attach(sys, pw)
-	}
-
-	var therm *thermal.Model
-	if cfg.Thermal != nil {
-		therm = thermal.Attach(sys, cfg.Power, *cfg.Thermal)
-		therm.Tel = cfg.Telemetry
-		therm.Xray = cfg.Xray
-		therm.Start()
-	}
-
-	// The digest recorder attaches last among the tick observers so its fold
-	// sees the run fully assembled (thermal model included) and runs after
-	// any hooks the subsystems above installed.
-	cfg.Digest.Attach(sys, sampler, therm, cfg.Duration)
-
-	if cfg.OnSystem != nil {
-		cfg.OnSystem(sys)
-	}
-
-	ctx := &workload.Ctx{
-		Eng:      eng,
-		Sys:      sys,
-		Rng:      rand.New(rand.NewSource(cfg.Seed)),
-		Duration: cfg.Duration,
-		FPS:      &metrics.FPSTracker{},
-		Lat:      &metrics.LatencyTracker{},
-	}
-	if tel := cfg.Telemetry; tel != nil {
-		lat := tel.Histogram("latency_ms")
-		ctx.Lat.Observe = func(d event.Time) { lat.Observe(d.Milliseconds()) }
-	}
-	cfg.App.Build(ctx)
-
-	eng.Run(cfg.Duration)
-
-	if tel := cfg.Telemetry; tel != nil {
-		ft := tel.Histogram("frame_time_ms")
-		times := ctx.FPS.Times()
-		for i := 1; i < len(times); i++ {
-			ft.Observe((times[i] - times[i-1]).Milliseconds())
-		}
-	}
-
-	res := Result{
-		App:       cfg.App.Name,
-		Metric:    cfg.App.Metric,
-		Duration:  cfg.Duration,
-		Cores:     cfg.Cores,
-		Scheduler: cfg.Scheduler,
-
-		TLP:    sampler.TLP(),
-		Matrix: sampler.MatrixPct(),
-
-		AvgPowerMW: sampler.AvgPowerMW(),
-		EnergyMJ:   sampler.EnergyMJ(),
-
-		Interactions: ctx.Lat.N,
-		MeanLatency:  ctx.Lat.Mean(),
-		TotalLatency: ctx.Lat.Total,
-		WorstLatency: ctx.Lat.Max,
-
-		Frames: ctx.FPS.Count(),
-		AvgFPS: ctx.FPS.Avg(cfg.Duration),
-		MinFPS: ctx.FPS.Min(cfg.Duration),
-	}
-	res.Eff = sampler.EffPct()
-	res.TinyActivePct = sampler.TinyActivePct()
-	res.AvgLittleUtil = sampler.AvgUtil(platform.Little)
-	res.AvgBigUtil = sampler.AvgUtil(platform.Big)
-
-	lc := soc.ClusterByType(platform.Little)
-	bc := soc.ClusterByType(platform.Big)
-	res.LittleFreqs = lc.FreqsMHz
-	res.BigFreqs = bc.FreqsMHz
-	res.LittleResidency = sampler.ResidencyPct(platform.Little, lc.FreqsMHz)
-	res.BigResidency = sampler.ResidencyPct(platform.Big, bc.FreqsMHz)
-
-	for _, t := range sys.Tasks() {
-		res.HMPMigrations += t.Migrations
-		res.TotalWorkGc += t.TotalWork / 1e9
-		res.TaskStats = append(res.TaskStats, TaskStat{
-			Name:       t.Name,
-			EnergyJ:    t.EnergyMJ / 1000,
-			LittleMs:   t.LittleRanNs.Milliseconds(),
-			BigMs:      t.BigRanNs.Milliseconds(),
-			TinyMs:     t.TinyRanNs.Milliseconds(),
-			Migrations: t.Migrations,
-		})
-	}
-	sort.Slice(res.TaskStats, func(i, j int) bool {
-		return res.TaskStats[i].EnergyJ > res.TaskStats[j].EnergyJ
-	})
-	half := cfg.Duration / 2
-	res.FPSFirstHalf = float64(ctx.FPS.CountIn(0, half)) / half.Seconds()
-	res.FPSSecondHalf = float64(ctx.FPS.CountIn(half, cfg.Duration)) / (cfg.Duration - half).Seconds()
-	if therm != nil {
-		res.MaxTempC = therm.MaxTempC
-		res.ThrottledPct = therm.ThrottledPct(cfg.Duration)
-	}
-	if cfg.Profiler != nil {
-		snap := cfg.Profiler.Snapshot(cfg.Duration)
-		res.Profile = &snap
-	}
-	// Finish after the result is assembled so reconciliation can never
-	// perturb what the caller observes.
-	if cfg.Check != nil {
-		cfg.Check.Finish(cfg.Duration, res.EnergyMJ)
-	}
-	return res
+	sim.RunTo(cfg.Duration)
+	return sim.Finish()
 }
 
 // Performance returns the app's scalar performance for comparisons: frames

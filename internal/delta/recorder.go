@@ -145,7 +145,15 @@ type Recorder struct {
 // the default window and preallocates the chain so steady-state recording
 // allocates nothing.
 func (r *Recorder) Attach(sys *sched.System, sampler *metrics.Sampler, therm *thermal.Model, duration event.Time) {
-	if r == nil || r.sys != nil {
+	if r == nil || r.sys == sys {
+		return
+	}
+	if r.sys != nil {
+		// Re-attachment to a different system: a forked continuation rebuilt
+		// the world (core.Resume) and this recorder's chain spans the fork.
+		// Move the hook, keep the window and the accumulated digests.
+		r.sys, r.sampler, r.therm = sys, sampler, therm
+		r.hook(sys)
 		return
 	}
 	r.sys, r.sampler, r.therm = sys, sampler, therm
@@ -160,6 +168,11 @@ func (r *Recorder) Attach(sys *sched.System, sampler *metrics.Sampler, therm *th
 	if duration > 0 {
 		r.sealed = make([]uint64, 0, duration/r.window+2)
 	}
+	r.hook(sys)
+}
+
+// hook chains onTick onto sys's scheduler tick.
+func (r *Recorder) hook(sys *sched.System) {
 	prev := sys.TickHook
 	sys.TickHook = func(now event.Time) {
 		if prev != nil {

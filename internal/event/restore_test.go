@@ -1,0 +1,122 @@
+package event
+
+import "testing"
+
+// TestResetAndScheduleAt drives an engine partway, captures the pending
+// (at, seq) keys, re-binds them onto a Reset engine, and asserts the firing
+// order and counters match a run that was never interrupted.
+func TestResetAndScheduleAt(t *testing.T) {
+	type fireRec struct {
+		tag string
+		at  Time
+	}
+	build := func(e *Engine, log *[]fireRec) []Handle {
+		rec := func(tag string) Handler {
+			return func(now Time) { *log = append(*log, fireRec{tag, now}) }
+		}
+		hs := []Handle{
+			e.At(10, rec("a")),
+			e.At(30, rec("b")),
+			e.At(30, rec("c")), // same time as b: seq must break the tie
+			e.At(50, rec("d")),
+			e.At(20, rec("e")),
+		}
+		return hs
+	}
+
+	// Reference: run straight through.
+	var refLog []fireRec
+	ref := New()
+	build(ref, &refLog)
+	ref.Run(60)
+
+	// Interrupted: run to 20, capture, reset, re-bind, continue.
+	var gotLog []fireRec
+	e := New()
+	hs := build(e, &gotLog)
+	e.Run(20)
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", e.Fired())
+	}
+	type pend struct {
+		at  Time
+		seq uint64
+		tag string
+	}
+	tags := []string{"a", "b", "c", "d", "e"}
+	var pending []pend
+	for i, h := range hs {
+		if seq, ok := h.EventSeq(); ok {
+			pending = append(pending, pend{h.At(), seq, tags[i]})
+		}
+	}
+	if len(pending) != 3 {
+		t.Fatalf("pending = %d, want 3", len(pending))
+	}
+
+	now, seq, fired := e.Now(), e.Scheduled(), e.Fired()
+	e.Reset(now, seq, fired)
+	if e.Pending() != 0 || e.Now() != now || e.Scheduled() != seq || e.Fired() != fired {
+		t.Fatalf("Reset left engine in wrong state")
+	}
+	// Old handles must be inert after Reset.
+	for _, h := range hs {
+		if h.Pending() {
+			t.Fatalf("handle still pending after Reset")
+		}
+		if h.Cancel() {
+			t.Fatalf("stale handle cancelled a recycled node")
+		}
+	}
+	for _, p := range pending {
+		tag := p.tag
+		e.ScheduleAt(p.at, p.seq, func(now Time) {
+			gotLog = append(gotLog, fireRec{tag, now})
+		})
+	}
+	e.Run(60)
+
+	if len(gotLog) != len(refLog) {
+		t.Fatalf("fired %d events, want %d", len(gotLog), len(refLog))
+	}
+	for i := range refLog {
+		if gotLog[i] != refLog[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, gotLog[i], refLog[i])
+		}
+	}
+	if e.Fired() != ref.Fired() || e.Scheduled() != ref.Scheduled() {
+		t.Fatalf("counters (%d,%d) != reference (%d,%d)",
+			e.Fired(), e.Scheduled(), ref.Fired(), ref.Scheduled())
+	}
+}
+
+// TestScheduleAtPanics pins the guard rails: past-time and out-of-range seq
+// both panic (simulator bugs, not recoverable conditions).
+func TestScheduleAtPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: did not panic", name)
+			}
+		}()
+		f()
+	}
+	e := New()
+	e.At(5, func(Time) {})
+	e.Run(10)
+	mustPanic("past time", func() { e.ScheduleAt(3, 0, func(Time) {}) })
+	mustPanic("seq >= counter", func() { e.ScheduleAt(20, 1, func(Time) {}) })
+}
+
+// TestSetNow pins the clock override used by the replay driver.
+func TestSetNow(t *testing.T) {
+	e := New()
+	e.SetNow(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %v, want 42", e.Now())
+	}
+	h := e.At(42, func(Time) {})
+	if !h.Pending() {
+		t.Fatalf("event at forced now not pending")
+	}
+}

@@ -71,6 +71,15 @@ func (e errBackpressure) Error() string {
 // 429 backpressure), and long-poll for the result. Jobs that cannot travel
 // return ok=false so the runner simulates them locally.
 func (c *Client) Execute(job lab.Job) (core.Result, bool, error) {
+	if job.Fork != nil {
+		// Louder than the generic decline: a caller who pointed a
+		// fork-accelerated sweep at the fleet should see why it ran locally.
+		if c.Log != nil {
+			c.Log.Warn("fork-accelerated job rejected as non-remotable; simulating locally",
+				"app", job.Config.App.Name, "fork_at", job.Fork.At)
+		}
+		return core.Result{}, false, nil
+	}
 	spec, err := SpecFromJob(job)
 	if err != nil {
 		if c.Log != nil {

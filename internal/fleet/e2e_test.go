@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -92,6 +94,58 @@ func TestFleetByteIdenticalToInProcess(t *testing.T) {
 	b, _ := json.Marshal(want)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("fleet results differ from in-process:\nfleet %s\nlocal %s", a, b)
+	}
+}
+
+// TestForkJobsStayLocal pins the snapshot/fleet boundary end to end: a sweep
+// mixing plain and fork-accelerated jobs through a live coordinator ships
+// only the plain jobs out; fork jobs are rejected as non-remotable — loudly —
+// and simulate locally, and the mixed sweep's bytes still equal in-process
+// RunAll with no fleet attached.
+func TestForkJobsStayLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fleet sweep")
+	}
+	_, client := startFleet(t, Options{})
+	startWorker(t, client, "w1")
+	var logBuf bytes.Buffer
+	client.Log = slog.New(slog.NewTextHandler(&logBuf, nil))
+
+	base := testJob(t, 1).Config
+	jobs := []lab.Job{testJob(t, 1), testJob(t, 2)}
+	for i := 0; i < 2; i++ {
+		cfg := base
+		cfg.Gov.SampleMs = 30 + 10*i
+		jobs = append(jobs, lab.Job{Config: cfg, Fork: &lab.ForkSpec{Base: base, At: base.Duration / 2}})
+	}
+
+	// The fork spec must be rejected at the serialization boundary too, so a
+	// direct Submit cannot smuggle one past the client.
+	if _, err := SpecFromJob(jobs[2]); err == nil {
+		t.Fatal("SpecFromJob accepted a fork-accelerated job")
+	}
+
+	remote := &lab.Runner{Workers: 2, Remote: client}
+	got, err := remote.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := remote.Stats(); s.Remote != 2 || s.Forks != 2 || s.Simulated != 2 {
+		t.Fatalf("stats = %+v, want 2 remote plain jobs and 2 local forks", s)
+	}
+	if !strings.Contains(logBuf.String(), "non-remotable") {
+		t.Fatalf("fork rejection was silent; client log:\n%s", logBuf.String())
+	}
+
+	local := &lab.Runner{Workers: 2}
+	want, err := local.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("mixed fleet/fork sweep differs from in-process:\nfleet %s\nlocal %s", a, b)
 	}
 }
 

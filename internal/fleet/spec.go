@@ -81,6 +81,9 @@ func SpecFromJob(job lab.Job) (JobSpec, error) {
 	if job.Prepare != nil {
 		return JobSpec{}, fmt.Errorf("fleet: job %q has a Prepare hook, which does not serialize", job.Config.App.Name)
 	}
+	if job.Fork != nil {
+		return JobSpec{}, fmt.Errorf("fleet: job %q is snapshot-accelerated (fork at %v) and is not remotable: prefix snapshots capture process-local closure state that cannot be rebuilt on a worker; it must simulate locally", job.Config.App.Name, job.Fork.At)
+	}
 	if job.Salt != "" {
 		return JobSpec{}, fmt.Errorf("fleet: job %q is salted (%q): its config under-identifies the run, so a worker could not rebuild it", job.Config.App.Name, job.Salt)
 	}

@@ -29,6 +29,7 @@ type loadSampler struct {
 	name     string
 	sample   event.Time
 	sampleFn event.Handler // cached method value: evaluating g.onSample allocates
+	sampleEv event.Handle  // the pending sample (retained for snapshot capture)
 	lastBusy []event.Time
 	target   func(cl *platform.Cluster, curMHz int, util float64) int
 }
@@ -51,7 +52,7 @@ func newLoadSampler(sys *sched.System, name string, sampleMs int,
 
 // Start schedules the periodic sampling.
 func (g *loadSampler) Start() {
-	g.sys.Eng.After(g.sample, g.sampleFn)
+	g.sampleEv = g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 func (g *loadSampler) onSample(now event.Time) {
@@ -113,7 +114,7 @@ func (g *loadSampler) onSample(now event.Time) {
 			}
 		}
 	}
-	g.sys.Eng.After(g.sample, g.sampleFn)
+	g.sampleEv = g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 // NewOndemand builds the classic Linux ondemand governor: jump straight to

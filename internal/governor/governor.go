@@ -62,6 +62,7 @@ type Interactive struct {
 	sys      *sched.System
 	sample   event.Time
 	sampleFn event.Handler // cached method value: evaluating g.onSample allocates
+	sampleEv event.Handle  // the pending sample (retained for snapshot capture)
 	lastBusy []event.Time
 	// Per-cluster hold state for the delay tunables.
 	hispeedSince []event.Time
@@ -112,7 +113,7 @@ func NewInteractive(sys *sched.System, cfg InteractiveConfig) *Interactive {
 
 // Start schedules the periodic sampling.
 func (g *Interactive) Start() {
-	g.sys.Eng.After(g.sample, g.sampleFn)
+	g.sampleEv = g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 func (g *Interactive) hispeed(t platform.CoreType) int {
@@ -228,7 +229,7 @@ func (g *Interactive) onSample(now event.Time) {
 			g.FreqLog(now, ci, newMHz)
 		}
 	}
-	g.sys.Eng.After(g.sample, g.sampleFn)
+	g.sampleEv = g.sys.Eng.After(g.sample, g.sampleFn)
 }
 
 // markGovernorChoice copies the scratch candidate buffer into a fresh slice

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"biglittle/internal/core"
+	"biglittle/internal/snapshot"
 )
 
 // schemaVersion invalidates every cached result when the blob layout or the
@@ -152,6 +153,61 @@ func (c *Cache) Put(fp, app, salt string, res core.Result) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// prefixPath is the prefix-tier layout: encoded snapshot blobs under
+// <dir>/<version>/prefix/<key[:2]>/<key>.blsnap. The tier shares the
+// version directory with results — a schema or code change invalidates
+// warmed prefixes exactly like memoized results — but uses its own
+// extension so List and countEntries see only results.
+func (c *Cache) prefixPath(key string) string {
+	return filepath.Join(c.dir, c.version, "prefix", key[:2], key+".blsnap")
+}
+
+// GetPrefix loads the encoded prefix snapshot stored under key, reporting
+// whether a valid blob was found. The blob is validated by a full decode —
+// the codec checksums and version-checks it — and corrupt or stale entries
+// are removed so the follow-up PutPrefix replaces them.
+func (c *Cache) GetPrefix(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	p := c.prefixPath(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := snapshot.Decode(data); err != nil {
+		os.Remove(p)
+		return nil, false
+	}
+	return data, true
+}
+
+// PutPrefix stores an encoded prefix snapshot under key, with the same
+// temp-file-plus-rename discipline as Put.
+func (c *Cache) PutPrefix(key string, blob []byte) error {
+	if c == nil {
+		return nil
+	}
+	p := c.prefixPath(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

@@ -36,6 +36,14 @@ type print struct {
 	Power     power.Params               `json:"power"`
 	Platform  string                     `json:"platform,omitempty"`
 	Thermal   *thermal.Params            `json:"thermal,omitempty"`
+
+	// Fork identity: a fork-accelerated job's result depends on the prefix
+	// it resumed from (variant knobs apply only from the fork point), so the
+	// base config's own fingerprint and the fork time fold into the hash —
+	// a forked variant never shares a cache entry with a from-scratch run
+	// of the same config.
+	ForkBase string     `json:"fork_base,omitempty"`
+	ForkAt   event.Time `json:"fork_at,omitempty"`
 }
 
 // Fingerprint returns the content hash identifying a job's simulation, and
@@ -55,7 +63,7 @@ type print struct {
 // it does not affect cacheability.)
 func Fingerprint(job Job) (string, bool) {
 	cfg := job.Config.Normalized()
-	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil || cfg.Xray != nil || cfg.Check != nil || cfg.Digest != nil {
+	if cfg.OnSystem != nil || cfg.Telemetry != nil || cfg.Profiler != nil || cfg.Xray != nil || cfg.Check != nil || cfg.Digest != nil || cfg.OnSnapshot != nil {
 		return "", false
 	}
 	p := print{
@@ -80,6 +88,14 @@ func Fingerprint(job Job) (string, bool) {
 			return "", false
 		}
 		p.Platform = soc.Name
+	}
+	if job.Fork != nil {
+		baseFp, ok := Fingerprint(Job{Config: job.Fork.Base})
+		if !ok {
+			return "", false
+		}
+		p.ForkBase = baseFp
+		p.ForkAt = job.Fork.At
 	}
 	blob, err := json.Marshal(p)
 	if err != nil {

@@ -33,6 +33,7 @@ import (
 	"biglittle/internal/check"
 	"biglittle/internal/core"
 	"biglittle/internal/delta"
+	"biglittle/internal/event"
 	"biglittle/internal/telemetry"
 )
 
@@ -51,6 +52,25 @@ type Job struct {
 	// trace.Recorder via OnSystem, ...) to the config copy it receives.
 	// Jobs whose final config carries observers are never cached.
 	Prepare func(*core.Config)
+
+	// Fork, when non-nil, accelerates the job with a shared snapshot prefix:
+	// instead of simulating Config from scratch, the runner warms (or
+	// reuses) one prefix of Fork.Base run to Fork.At and resumes it under
+	// Config — whose knobs take effect at the fork point. Jobs with an
+	// identical (Base, At) share a single prefix simulation, in memory and
+	// in the cache's prefix tier. Fork jobs never ship to the remote fleet
+	// (snapshots mirror process-local closure state) and are mutually
+	// exclusive with Runner.Check.
+	Fork *ForkSpec
+}
+
+// ForkSpec names the shared prefix of a fork-accelerated job: the base
+// config to warm — typically the sweep's config with the swept knob at its
+// baseline value — and the fork time. Base must be fingerprintable (no
+// observers, hooks, or digest recorder), or the job fails loudly.
+type ForkSpec struct {
+	Base core.Config
+	At   event.Time
 }
 
 // Executor runs a job somewhere other than this process — the simulation
@@ -87,6 +107,16 @@ type Stats struct {
 	// cached result disagreed with a fresh audited simulation.
 	Audited       int64
 	AuditFailures int64
+
+	// Forks counts fork-accelerated continuations resumed from a prefix
+	// snapshot. PrefixHits counts fork jobs served by an already-warm prefix
+	// (built earlier in this process, or found in the cache's prefix tier);
+	// PrefixMisses counts prefix simulations actually executed — on a sweep
+	// of N variants sharing one (Base, At), PrefixMisses is 1 and PrefixHits
+	// is N-1.
+	Forks        int64
+	PrefixHits   int64
+	PrefixMisses int64
 }
 
 // Runner executes jobs on a worker pool with caching. The zero value is
@@ -106,7 +136,8 @@ type Runner struct {
 	// one per Stats field: "lab_jobs", "lab_cache_hits", "lab_cache_misses",
 	// "lab_simulations", "lab_stored", "lab_retries", "lab_failures",
 	// "lab_remote", "lab_remote_errors", "lab_audited",
-	// "lab_audit_failures". The runner updates them under its
+	// "lab_audit_failures", "lab_forks", "lab_prefix_hits",
+	// "lab_prefix_misses". The runner updates them under its
 	// own mutex so Stats and the mirrored counters stay in lockstep; the
 	// registry itself is goroutine-safe, so exporting this collector (e.g.
 	// WritePrometheus) while a sweep runs is fine. Do not share it with
@@ -137,6 +168,16 @@ type Runner struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// prefixes is the in-process tier of the fork-prefix cache: one decoded
+	// read-only snapshot per (base fingerprint, fork time), built at most
+	// once per runner under singleflight. The on-disk tier lives in the
+	// Cache's prefix/ area and survives across processes. prefixKeys
+	// memoizes the fingerprint-derived key per spec pointer, so a sweep
+	// sharing one *ForkSpec marshals the base config once.
+	prefixMu   sync.Mutex
+	prefixes   map[string]*prefixEntry
+	prefixKeys map[*ForkSpec]string
 }
 
 // New returns a runner with the given worker count and cache.
@@ -274,6 +315,8 @@ func (p *progress) finish() {
 		"hits", s.Hits,
 		"misses", s.Misses,
 		"simulated", s.Simulated,
+		"forks", s.Forks,
+		"prefix_hits", s.PrefixHits,
 		"remote", s.Remote,
 		"stored", s.Stored,
 		"retries", s.Retries,
@@ -364,8 +407,24 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 	if job.Prepare != nil {
 		job.Prepare(&cfg)
 	}
-	probe := Job{Config: cfg, Salt: job.Salt}
-	fp, printable := Fingerprint(probe)
+	if job.Fork != nil && r.Check {
+		// The auditor must observe a from-scratch run, but a variant fork's
+		// result legitimately differs from a from-scratch run of the variant
+		// config (its knobs apply only from the fork point), so auditing
+		// would flag correct results as corrupt.
+		err := fmt.Errorf("lab: job %q: fork acceleration and Check auditing are mutually exclusive — an audit re-simulates from scratch, which a variant fork legitimately diverges from", cfg.App.Name)
+		r.count(func(s *Stats) { s.Failures++ }, "lab_failures")
+		r.logJob("job failed", cfg.App.Name, "err", err)
+		return core.Result{}, err
+	}
+	// Fingerprinting costs a config marshal (two for fork jobs); skip it
+	// when neither the cache nor a remote executor could use the result.
+	probe := Job{Config: cfg, Salt: job.Salt, Fork: job.Fork}
+	var fp string
+	var printable bool
+	if r.Cache != nil || r.Remote != nil {
+		fp, printable = Fingerprint(probe)
+	}
 	cacheable := printable && r.Cache != nil
 	if cacheable {
 		if res, ok := r.Cache.Get(fp); ok {
@@ -420,6 +479,21 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 		}
 	}
 
+	// A fork-accelerated job simulates its continuation from the shared
+	// prefix snapshot instead of from time zero. The prefix is acquired once
+	// (singleflight across workers) before the attempt loop, so a retry
+	// re-runs only the cheap continuation.
+	run := runScratch
+	if job.Fork != nil {
+		st, ferr := r.prefixState(job.Fork)
+		if ferr != nil {
+			r.count(func(s *Stats) { s.Failures++ }, "lab_failures")
+			r.logJob("job failed", cfg.App.Name, "err", ferr)
+			return core.Result{}, ferr
+		}
+		run = forkRun(st)
+	}
+
 	var err error
 	for attempt := 0; attempt <= r.retries(); attempt++ {
 		if attempt > 0 {
@@ -434,7 +508,7 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 			acfg.Check = aud
 		}
 		var res core.Result
-		res, err = r.attempt(acfg)
+		res, err = r.attempt(acfg, run)
 		if err != nil {
 			continue
 		}
@@ -447,6 +521,10 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 			}
 			r.count(func(s *Stats) { s.Audited++ }, "lab_audited")
 			r.logJob("audited", cfg.App.Name, "source", "fresh")
+		}
+		if job.Fork != nil {
+			r.count(func(s *Stats) { s.Forks++ }, "lab_forks")
+			r.logJob("forked", cfg.App.Name, "at", job.Fork.At)
 		}
 		r.count(func(s *Stats) { s.Simulated++ }, "lab_simulations")
 		r.logJob("simulated", cfg.App.Name, "attempt", attempt+1)
@@ -472,7 +550,7 @@ func (r *Runner) runOne(job Job) (core.Result, error) {
 func (r *Runner) auditCached(cfg core.Config, cached core.Result) error {
 	aud := check.New()
 	cfg.Check = aud
-	fresh, err := r.attempt(cfg)
+	fresh, err := r.attempt(cfg, runScratch)
 	if err != nil {
 		return err
 	}
@@ -499,9 +577,12 @@ type outcome struct {
 	err error
 }
 
-// attempt runs one simulation with panic recovery and the optional
-// wall-clock timeout.
-func (r *Runner) attempt(cfg core.Config) (core.Result, error) {
+// runScratch is the default attempt body: a full from-scratch simulation.
+func runScratch(cfg core.Config) (core.Result, error) { return core.Run(cfg), nil }
+
+// attempt runs one simulation — run(cfg) — with panic recovery and the
+// optional wall-clock timeout.
+func (r *Runner) attempt(cfg core.Config, run func(core.Config) (core.Result, error)) (core.Result, error) {
 	ch := make(chan outcome, 1) // buffered: an abandoned attempt must not leak
 	go func() {
 		defer func() {
@@ -509,7 +590,8 @@ func (r *Runner) attempt(cfg core.Config) (core.Result, error) {
 				ch <- outcome{err: fmt.Errorf("lab: job %q panicked: %v", cfg.App.Name, p)}
 			}
 		}()
-		ch <- outcome{res: core.Run(cfg)}
+		res, err := run(cfg)
+		ch <- outcome{res: res, err: err}
 	}()
 	if r.Timeout <= 0 {
 		o := <-ch

@@ -30,6 +30,9 @@ var statCounters = map[string]string{
 	"RemoteErrors":  "lab_remote_errors",
 	"Audited":       "lab_audited",
 	"AuditFailures": "lab_audit_failures",
+	"Forks":         "lab_forks",
+	"PrefixHits":    "lab_prefix_hits",
+	"PrefixMisses":  "lab_prefix_misses",
 }
 
 // TestStatsCountersMirrored pins two things: every field of Stats has a

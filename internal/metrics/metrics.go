@@ -100,6 +100,7 @@ type Sampler struct {
 	meter power.Meter
 
 	sampleFn event.Handler // cached method value: evaluating m.onSample allocates
+	sampleEv event.Handle  // the pending sample (retained for snapshot capture)
 	// clusterActive is reused across samples, indexed by cluster ID.
 	clusterActive []bool
 }
@@ -126,7 +127,7 @@ func NewSampler(sys *sched.System, pw power.Params) *Sampler {
 
 // Start schedules periodic sampling.
 func (m *Sampler) Start() {
-	m.sys.Eng.After(SampleInterval, m.sampleFn)
+	m.sampleEv = m.sys.Eng.After(SampleInterval, m.sampleFn)
 }
 
 func (m *Sampler) onSample(now event.Time) {
@@ -207,7 +208,7 @@ func (m *Sampler) onSample(now event.Time) {
 			Value: mw,
 		})
 	}
-	m.sys.Eng.After(SampleInterval, m.sampleFn)
+	m.sampleEv = m.sys.Eng.After(SampleInterval, m.sampleFn)
 }
 
 func classify(t platform.CoreType, cl *platform.Cluster, util float64) EffState {

@@ -1,0 +1,52 @@
+package platform
+
+import "fmt"
+
+// Snap is the SoC's mutable state for whole-simulation snapshot/fork: the
+// per-cluster DVFS operating point and thermal cap, and the per-core hotplug
+// state. Topology and frequency tables are immutable and reconstructed from
+// the run config.
+type Snap struct {
+	ClusterMHz []int  `json:"mhz"`
+	ClusterCap []int  `json:"cap"`
+	CoreOnline []bool `json:"online"`
+}
+
+// Snapshot captures the SoC's mutable state without modifying it.
+func (s *SoC) Snapshot() Snap {
+	sn := Snap{
+		ClusterMHz: make([]int, len(s.Clusters)),
+		ClusterCap: make([]int, len(s.Clusters)),
+		CoreOnline: make([]bool, len(s.Cores)),
+	}
+	for i := range s.Clusters {
+		sn.ClusterMHz[i] = s.Clusters[i].CurMHz
+		sn.ClusterCap[i] = s.Clusters[i].CapMHz
+	}
+	for i := range s.Cores {
+		sn.CoreOnline[i] = s.Cores[i].Online
+	}
+	return sn
+}
+
+// Restore loads sn into an SoC of the same topology. It writes the raw
+// fields directly (no SetFreq/SetOnline legality checks): the values were
+// read from a live SoC of identical shape, and re-running the transition
+// logic could clamp them differently than the original sequence of calls.
+func (s *SoC) Restore(sn *Snap) error {
+	if len(sn.ClusterMHz) != len(s.Clusters) || len(sn.ClusterCap) != len(s.Clusters) {
+		return fmt.Errorf("platform: snapshot has %d/%d cluster entries, soc has %d",
+			len(sn.ClusterMHz), len(sn.ClusterCap), len(s.Clusters))
+	}
+	if len(sn.CoreOnline) != len(s.Cores) {
+		return fmt.Errorf("platform: snapshot has %d cores, soc has %d", len(sn.CoreOnline), len(s.Cores))
+	}
+	for i := range s.Clusters {
+		s.Clusters[i].CurMHz = sn.ClusterMHz[i]
+		s.Clusters[i].CapMHz = sn.ClusterCap[i]
+	}
+	for i := range s.Cores {
+		s.Cores[i].Online = sn.CoreOnline[i]
+	}
+	return nil
+}

@@ -195,3 +195,10 @@ func (m *Meter) AvgMW() float64 {
 	}
 	return m.energyMJ / m.elapsed.Seconds()
 }
+
+// Restore overwrites the meter's accumulators with values captured by a
+// whole-simulation snapshot.
+func (m *Meter) Restore(energyMJ float64, elapsed event.Time) {
+	m.energyMJ = energyMJ
+	m.elapsed = elapsed
+}

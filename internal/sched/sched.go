@@ -109,6 +109,12 @@ type Task struct {
 	// sleepLoad is an EWMA of the task's load at each sleep transition —
 	// its "burst footprint", used to gate the tiny tier.
 	sleepLoad float64
+	// wakeFn/wakeEv/wakeDst track the deep-idle exit event: the handler is
+	// bound once at task creation and the handle retained so snapshot can
+	// capture (and restore can re-bind) an in-flight wake.
+	wakeFn  event.Handler
+	wakeEv  event.Handle
+	wakeDst int
 
 	// Stats
 	TotalWork    float64
@@ -186,6 +192,7 @@ type System struct {
 	tasks   []*Task
 	tick    event.Time
 	tickFn  event.Handler // onTick bound once; re-arming it must not allocate
+	tickEv  event.Handle  // the pending tick (retained for snapshot capture)
 	started bool
 
 	// Tel, when non-nil, receives a telemetry event for every migration
@@ -268,7 +275,9 @@ func (s *System) NewTask(name string, speedup float64) *Task {
 		cpu:     -1,
 		pinned:  -1,
 		lastCPU: -1,
+		wakeDst: -1,
 	}
+	t.wakeFn = func(at event.Time) { s.onDeepWake(t, at) }
 	s.tasks = append(s.tasks, t)
 	return t
 }
@@ -279,7 +288,7 @@ func (s *System) Start() {
 		return
 	}
 	s.started = true
-	s.Eng.After(s.tick, s.tickFn)
+	s.tickEv = s.Eng.After(s.tick, s.tickFn)
 }
 
 // TinyPerfScale is the per-clock efficiency of a tiny core relative to a
@@ -484,37 +493,41 @@ func (s *System) Push(t *Task, cycles float64) {
 		// The core was in deep idle: the task pays the exit latency before
 		// it can be enqueued (cpuidle wake-up cost).
 		t.state = Waking
-		s.Eng.At(now+s.Cfg.DeepIdleWake, func(at event.Time) {
-			dst := c
-			if !s.SoC.Cores[dst.id].Online {
-				// The chosen core was hotplugged offline while the task paid
-				// the exit latency (offlining only evicts queued tasks, not
-				// Waking ones). Re-place it; as with eviction, hotplug breaks
-				// affinity to the now-offline core.
-				if t.pinned >= 0 && !s.SoC.Cores[t.pinned].Online {
-					t.pinned = -1
-				}
-				dst = s.wakeCPU(t)
-				prevCPU := t.lastCPU
-				t.cpu = dst.id
-				t.lastCPU = dst.id
-				if s.Xray != nil {
-					s.xrayWake(t, dst, prevCPU, at, telemetry.ReasonHotplug)
-				}
-			}
-			s.sync(dst, at)
-			t.state = Runnable
-			dst.queue = append(dst.queue, t)
-			if len(dst.queue) == 1 {
-				s.dispatch(dst, at)
-			}
-		})
+		t.wakeDst = c.id
+		t.wakeEv = s.Eng.At(now+s.Cfg.DeepIdleWake, t.wakeFn)
 		return
 	}
 	t.state = Runnable
 	c.queue = append(c.queue, t)
 	if len(c.queue) == 1 {
 		s.dispatch(c, now)
+	}
+}
+
+// onDeepWake completes a deep-idle wake after the exit latency: the task is
+// enqueued on the core chosen at Push time (t.wakeDst), unless that core was
+// hotplugged offline while the task paid the latency (offlining only evicts
+// queued tasks, not Waking ones), in which case it is re-placed; as with
+// eviction, hotplug breaks affinity to the now-offline core.
+func (s *System) onDeepWake(t *Task, at event.Time) {
+	dst := s.cpus[t.wakeDst]
+	if !s.SoC.Cores[dst.id].Online {
+		if t.pinned >= 0 && !s.SoC.Cores[t.pinned].Online {
+			t.pinned = -1
+		}
+		dst = s.wakeCPU(t)
+		prevCPU := t.lastCPU
+		t.cpu = dst.id
+		t.lastCPU = dst.id
+		if s.Xray != nil {
+			s.xrayWake(t, dst, prevCPU, at, telemetry.ReasonHotplug)
+		}
+	}
+	s.sync(dst, at)
+	t.state = Runnable
+	dst.queue = append(dst.queue, t)
+	if len(dst.queue) == 1 {
+		s.dispatch(dst, at)
 	}
 }
 
@@ -615,7 +628,7 @@ func (s *System) onTick(now event.Time) {
 	if s.TickHook != nil {
 		s.TickHook(now)
 	}
-	s.Eng.After(s.tick, s.tickFn)
+	s.tickEv = s.Eng.After(s.tick, s.tickFn)
 }
 
 // updateLoads feeds each task's tracker with its runnable fraction of the

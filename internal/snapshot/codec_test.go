@@ -1,0 +1,176 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biglittle/internal/delta"
+	"biglittle/internal/event"
+	"biglittle/internal/platform"
+	"biglittle/internal/workload"
+)
+
+func sampleState() *State {
+	return &State{
+		App:       "browser",
+		Seed:      7,
+		Cores:     platform.CoreConfig{Little: 4, Big: 4},
+		SchedKind: "hmp",
+		GovKind:   "interactive",
+		Time:      3 * event.Second,
+		Duration:  10 * event.Second,
+		Engine:    EngineSnap{Now: 3 * event.Second, Seq: 991, Fired: 874},
+		Workload: WorkloadSnap{
+			Log: []workload.Record{
+				{Kind: workload.RecFire, Wid: 0, At: event.Second},
+				{Kind: workload.RecSeg, Th: 1, At: 2 * event.Second},
+				{Kind: workload.RecBusy, Busy: true},
+			},
+			Pending:  []workload.PendingEvent{{Wid: 3, At: 4 * event.Second, Seq: 870}},
+			Threads:  2,
+			Frames:   []event.Time{event.Second, 2 * event.Second},
+			LatTotal: 40 * event.Millisecond,
+			LatMax:   25 * event.Millisecond,
+			LatN:     3,
+		},
+		Delta: &delta.Snap{Window: 29296875, Cur: 102, Acc: 0xdeadbeef, Cum: 0xfeedface,
+			Sealed: []uint64{1, 2, 3}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState()
+	blob, err := Encode(st)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", st, got)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same state differ")
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("Encode(nil) succeeded")
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	blob, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "too short"},
+		{"truncated header", func(b []byte) []byte { return b[:headerLen-1] }, "too short"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"version skew", func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[6:8], Version+1)
+			return b
+		}, "format version"},
+		{"huge declared length", func(b []byte) []byte {
+			binary.BigEndian.PutUint64(b[8:16], maxPayload+1)
+			return b
+		}, "exceeds limit"},
+		{"length mismatch", func(b []byte) []byte {
+			binary.BigEndian.PutUint64(b[8:16], uint64(len(b)-headerLen+5))
+			return b
+		}, "header declares"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-7] }, "header declares"},
+		{"flipped payload bit", func(b []byte) []byte {
+			b[headerLen+10] ^= 0x40
+			return b
+		}, "checksum"},
+		{"flipped checksum bit", func(b []byte) []byte {
+			b[20] ^= 0x01
+			return b
+		}, "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), blob...))
+			_, err := Decode(b)
+			if err == nil {
+				t.Fatal("Decode accepted a corrupt blob")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeUnknownField pins the skew guard: a payload with a field this
+// State shape does not declare is refused even when the checksum is valid.
+func TestDecodeUnknownField(t *testing.T) {
+	payload := []byte(`{"app":"x","futureField":1}`)
+	blob := frame(payload)
+	if _, err := Decode(blob); err == nil || !strings.Contains(err.Error(), "decode payload") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestDecodeTrailingData(t *testing.T) {
+	payload := []byte(`{"app":"x"} {"more":true}`)
+	blob := frame(payload)
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("trailing JSON accepted")
+	}
+}
+
+func TestDecodeMalformedJSON(t *testing.T) {
+	blob := frame([]byte(`{"app":`))
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestPendingEventsAccounting(t *testing.T) {
+	st := sampleState()
+	if got := st.PendingEvents(); got != 1 {
+		t.Fatalf("PendingEvents = %d, want 1 (the workload event)", got)
+	}
+	st.Sched.TickPending = true
+	st.Gov.SamplePending = true
+	st.Metrics.SamplePending = true
+	if got := st.PendingEvents(); got != 4 {
+		t.Fatalf("PendingEvents = %d, want 4", got)
+	}
+}
+
+// frame wraps payload in a valid header (correct length and checksum) so
+// tests can exercise the JSON layer in isolation.
+func frame(payload []byte) []byte {
+	head := make([]byte, headerLen)
+	copy(head[0:6], magic[:])
+	binary.BigEndian.PutUint16(head[6:8], Version)
+	binary.BigEndian.PutUint64(head[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(head[16:headerLen], sum[:])
+	return append(head, payload...)
+}

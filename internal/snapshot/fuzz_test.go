@@ -1,0 +1,53 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode drives the codec with arbitrary blobs: Decode must either
+// return an error or a State that round-trips — and must never panic,
+// whatever the corruption, truncation, or version skew. make fuzz-smoke
+// runs this briefly on every CI pass.
+func FuzzDecode(f *testing.F) {
+	good, err := Encode(sampleState())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("BLSNAP"))
+	f.Add(good[:headerLen])
+	f.Add(good[:len(good)-1])
+	f.Add(append(append([]byte(nil), good...), 0))
+	tampered := append([]byte(nil), good...)
+	tampered[headerLen+3] ^= 0xff
+	f.Add(tampered)
+	skewed := append([]byte(nil), good...)
+	skewed[7] = 99
+	f.Add(skewed)
+	f.Add(frame([]byte(`{"app":"x","bogus":[]}`)))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		st, err := Decode(blob)
+		if err != nil {
+			if st != nil {
+				t.Fatal("Decode returned both a state and an error")
+			}
+			return
+		}
+		// Accepted blobs must round-trip: the decoded state re-encodes and
+		// re-decodes to an equal value.
+		re, err := Encode(st)
+		if err != nil {
+			t.Fatalf("re-encode of accepted state failed: %v", err)
+		}
+		st2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatal("accepted state does not round-trip")
+		}
+	})
+}

@@ -224,7 +224,7 @@ func Compile(f File) (apps.App, error) {
 func build(ctx *workload.Ctx, f File) {
 	threads := map[string]*workload.Thread{}
 	for _, th := range f.Threads {
-		threads[th.Name] = workload.NewThread(ctx.Sys, f.Name+"."+th.Name, th.Speedup)
+		threads[th.Name] = workload.NewThread(ctx, f.Name+"."+th.Name, th.Speedup)
 	}
 
 	for _, in := range f.Interactions {
@@ -288,9 +288,9 @@ func build(ctx *workload.Ctx, f File) {
 
 // hum mirrors the bundled apps' background activity for spec-loaded apps.
 func hum(ctx *workload.Ctx, prefix string, meanGap event.Time, p2, p3 float64) {
-	a := workload.NewThread(ctx.Sys, prefix+".sys1", 1.3)
-	b := workload.NewThread(ctx.Sys, prefix+".sys2", 1.3)
-	c := workload.NewThread(ctx.Sys, prefix+".sys3", 1.3)
+	a := workload.NewThread(ctx, prefix+".sys1", 1.3)
+	b := workload.NewThread(ctx, prefix+".sys2", 1.3)
+	c := workload.NewThread(ctx, prefix+".sys3", 1.3)
 	var arrive func(now event.Time)
 	arrive = func(now event.Time) {
 		if now >= ctx.Duration {
@@ -303,7 +303,7 @@ func hum(ctx *workload.Ctx, prefix string, meanGap event.Time, p2, p3 float64) {
 		if ctx.Rng.Float64() < p3 {
 			c.Push(ctx.Jitter(0.25*workload.Mc, 0.5), nil)
 		}
-		ctx.Eng.At(now+ctx.Exp(meanGap), arrive)
+		ctx.At(now+ctx.Exp(meanGap), arrive)
 	}
-	ctx.Eng.At(ctx.Exp(meanGap), arrive)
+	ctx.At(ctx.Exp(meanGap), arrive)
 }

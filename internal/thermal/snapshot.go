@@ -1,0 +1,73 @@
+package thermal
+
+import (
+	"fmt"
+
+	"biglittle/internal/event"
+)
+
+// Snap is the thermal model's dynamic state for whole-simulation snapshot.
+// The frequency caps it imposes live in the SoC snapshot; this carries the
+// temperatures, the accounting, and the pending sample event.
+type Snap struct {
+	LastBusy []event.Time `json:"lastBusy"`
+	LastDeep []event.Time `json:"lastDeep"`
+
+	TempC         []float64  `json:"tempC"`
+	MaxTempC      float64    `json:"maxTempC"`
+	ThrottledNs   event.Time `json:"throttledNs"`
+	Events        int        `json:"events"`
+	HotplugEvents int        `json:"hotplug"`
+
+	SamplePending bool       `json:"sampleP,omitempty"`
+	SampleAt      event.Time `json:"sampleAt,omitempty"`
+	SampleSeq     uint64     `json:"sampleSeq,omitempty"`
+}
+
+// PendingEvents returns how many engine events the snapshot accounts for.
+func (sn *Snap) PendingEvents() int {
+	if sn.SamplePending {
+		return 1
+	}
+	return 0
+}
+
+// Snapshot captures the model's dynamic state without modifying it.
+func (m *Model) Snapshot() Snap {
+	sn := Snap{
+		LastBusy:      append([]event.Time(nil), m.lastBusy...),
+		LastDeep:      append([]event.Time(nil), m.lastDeep...),
+		TempC:         append([]float64(nil), m.TempC...),
+		MaxTempC:      m.MaxTempC,
+		ThrottledNs:   m.ThrottledNs,
+		Events:        m.Events,
+		HotplugEvents: m.HotplugEvents,
+	}
+	if seq, ok := m.sampleEv.EventSeq(); ok {
+		sn.SamplePending, sn.SampleAt, sn.SampleSeq = true, m.sampleEv.At(), seq
+	}
+	return sn
+}
+
+// Restore loads sn into a freshly attached model; the engine must already be
+// Reset to the capture point.
+func (m *Model) Restore(sn *Snap) error {
+	if len(sn.LastBusy) != len(m.lastBusy) || len(sn.LastDeep) != len(m.lastDeep) {
+		return fmt.Errorf("thermal: snapshot has %d/%d core entries, model has %d",
+			len(sn.LastBusy), len(sn.LastDeep), len(m.lastBusy))
+	}
+	if len(sn.TempC) != len(m.TempC) {
+		return fmt.Errorf("thermal: snapshot has %d clusters, model has %d", len(sn.TempC), len(m.TempC))
+	}
+	copy(m.lastBusy, sn.LastBusy)
+	copy(m.lastDeep, sn.LastDeep)
+	copy(m.TempC, sn.TempC)
+	m.MaxTempC = sn.MaxTempC
+	m.ThrottledNs = sn.ThrottledNs
+	m.Events = sn.Events
+	m.HotplugEvents = sn.HotplugEvents
+	if sn.SamplePending {
+		m.sampleEv = m.sys.Eng.ScheduleAt(sn.SampleAt, sn.SampleSeq, m.sampleFn)
+	}
+	return nil
+}

@@ -72,6 +72,7 @@ type Model struct {
 	pw       power.Params
 	sample   event.Time
 	sampleFn event.Handler // cached method value: evaluating m.onSample allocates
+	sampleEv event.Handle  // the pending sample (retained for snapshot capture)
 	lastBusy []event.Time
 	lastDeep []event.Time
 
@@ -111,7 +112,7 @@ func Attach(sys *sched.System, pw power.Params, par Params) *Model {
 
 // Start schedules the periodic thermal sampling.
 func (m *Model) Start() {
-	m.sys.Eng.After(m.sample, m.sampleFn)
+	m.sampleEv = m.sys.Eng.After(m.sample, m.sampleFn)
 }
 
 func (m *Model) onSample(now event.Time) {
@@ -236,7 +237,7 @@ func (m *Model) onSample(now event.Time) {
 	if throttledNow {
 		m.ThrottledNs += m.sample
 	}
-	m.sys.Eng.After(m.sample, m.sampleFn)
+	m.sampleEv = m.sys.Eng.After(m.sample, m.sampleFn)
 }
 
 // ThrottledPct returns the share of elapsed time with a throttle cap

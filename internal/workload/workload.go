@@ -27,7 +27,26 @@ type Ctx struct {
 
 	FPS *metrics.FPSTracker
 	Lat *metrics.LatencyTracker
+
+	// Rec, when non-nil, records (or replays) the workload's interaction
+	// with the simulator for whole-run snapshot/restore; see record.go.
+	// Plain runs leave it nil and pay nothing.
+	Rec *Recorder
 }
+
+// At schedules fn at absolute time at. Workload code must schedule through
+// Ctx.At/Ctx.After (not ctx.Eng directly) so snapshot-enabled runs can log
+// and replay the firing; with no recorder it is exactly ctx.Eng.At.
+func (c *Ctx) At(at event.Time, fn func(now event.Time)) {
+	if c.Rec == nil {
+		c.Eng.At(at, fn)
+		return
+	}
+	c.Rec.schedule(c.Eng, at, fn)
+}
+
+// After schedules fn to run d after the current time, via Ctx.At.
+func (c *Ctx) After(d event.Time, fn func(now event.Time)) { c.At(c.Eng.Now()+d, fn) }
 
 // Mc is one million cycles — the natural unit for segment sizes (a little
 // core at 1.3 GHz executes 1300 Mc per second).
@@ -38,6 +57,8 @@ const Mc = 1e6
 type Thread struct {
 	Task *sched.Task
 	sys  *sched.System
+	rec  *Recorder
+	idx  int // creation index under rec (RecSeg target)
 	// cbs[cbHead:] are the pending per-segment callbacks. The head index
 	// (rather than re-slicing cbs[1:]) keeps the backing array's front
 	// capacity, so steady push/pop cycles reuse one allocation.
@@ -46,9 +67,15 @@ type Thread struct {
 }
 
 // NewThread creates a named thread with the given big-core speedup.
-func NewThread(sys *sched.System, name string, speedup float64) *Thread {
-	th := &Thread{Task: sys.NewTask(name, speedup), sys: sys}
+func NewThread(ctx *Ctx, name string, speedup float64) *Thread {
+	th := &Thread{Task: ctx.Sys.NewTask(name, speedup), sys: ctx.Sys, rec: ctx.Rec}
+	if th.rec != nil {
+		th.idx = th.rec.registerThread(th)
+	}
 	th.Task.OnSegment = func(now event.Time) {
+		if th.rec != nil {
+			th.rec.noteSeg(th.idx, now)
+		}
 		if th.cbHead >= len(th.cbs) {
 			return
 		}
@@ -76,6 +103,11 @@ func (th *Thread) Push(cycles float64, done func(now event.Time)) {
 		return
 	}
 	th.cbs = append(th.cbs, done)
+	if th.rec.replaying() {
+		// The scheduler does not run during replay; the segment's completion
+		// is driven from the log (a RecSeg record pops the callback).
+		return
+	}
 	th.sys.Push(th.Task, cycles)
 }
 
@@ -144,7 +176,16 @@ func Periodic(ctx *Ctx, th *Thread, cfg PeriodicConfig) {
 		if now >= until {
 			return
 		}
-		if !(cfg.DropIfBusy && th.Task.CurState() != sched.Sleeping) {
+		drop := false
+		if cfg.DropIfBusy {
+			drop = th.Task.CurState() != sched.Sleeping
+			if ctx.Rec != nil {
+				// A live scheduler read: recorded on capture, served from the
+				// log on replay (the scheduler does not run during replay).
+				drop = ctx.Rec.observeBusy(drop)
+			}
+		}
+		if !drop {
 			w := cfg.Work
 			if cfg.HeavyP > 0 {
 				w = ctx.HeavyTail(cfg.Work, cfg.CV, cfg.HeavyP, cfg.HeavyMult)
@@ -153,9 +194,9 @@ func Periodic(ctx *Ctx, th *Thread, cfg PeriodicConfig) {
 			}
 			th.Push(w, cfg.OnDone)
 		}
-		ctx.Eng.At(now+cfg.Period, tick)
+		ctx.At(now+cfg.Period, tick)
 	}
-	ctx.Eng.After(cfg.Offset, tick)
+	ctx.After(cfg.Offset, tick)
 }
 
 // Continuous keeps th 100% busy with segment-sized chunks until ctx.Duration
@@ -180,9 +221,9 @@ func PoissonBursts(ctx *Ctx, th *Thread, meanInterval event.Time, work, cv float
 			return
 		}
 		th.Push(ctx.Jitter(work, cv), nil)
-		ctx.Eng.At(now+ctx.Exp(meanInterval), arrive)
+		ctx.At(now+ctx.Exp(meanInterval), arrive)
 	}
-	ctx.Eng.After(ctx.Exp(meanInterval), arrive)
+	ctx.After(ctx.Exp(meanInterval), arrive)
 }
 
 // Stage is one step of an interaction pipeline: Work cycles pushed to every
@@ -216,7 +257,7 @@ func RunStages(ctx *Ctx, stages []Stage, done func(now event.Time)) {
 		st := stages[i]
 		next := func(fin event.Time) {
 			if st.PostDelay > 0 {
-				ctx.Eng.At(fin+st.PostDelay, func(at event.Time) { runFrom(i+1, at) })
+				ctx.At(fin+st.PostDelay, func(at event.Time) { runFrom(i+1, at) })
 				return
 			}
 			runFrom(i+1, fin)
@@ -285,7 +326,12 @@ func InteractionLoop(ctx *Ctx, cfg InteractionConfig) {
 			window = 120 * event.Millisecond
 		}
 		for off := event.Time(0); off <= window; off += 25 * event.Millisecond {
-			ctx.Eng.At(now+off, func(event.Time) {
+			ctx.At(now+off, func(event.Time) {
+				if ctx.Rec.replaying() {
+					// Boosts mutate live scheduler state; during replay the
+					// scheduler is restored from the snapshot instead.
+					return
+				}
 				for _, th := range cfg.Boost {
 					th.Task.Boost(boostLoad)
 				}
@@ -297,10 +343,10 @@ func InteractionLoop(ctx *Ctx, cfg InteractionConfig) {
 				ctx.Lat.Record(fin - start)
 			}
 			think := event.Time(ctx.Jitter(float64(cfg.Think), cfg.ThinkCV))
-			ctx.Eng.At(fin+think, next)
+			ctx.At(fin+think, next)
 		})
 	}
-	ctx.Eng.After(event.Time(ctx.Jitter(float64(cfg.Think/2), 0.5)), next)
+	ctx.After(event.Time(ctx.Jitter(float64(cfg.Think/2), 0.5)), next)
 }
 
 // TouchKicks models the Android input booster: while the user is touching
@@ -316,19 +362,24 @@ func TouchKicks(ctx *Ctx, meanGap event.Time) {
 		if now >= ctx.Duration {
 			return
 		}
-		for ci := range soc.Clusters {
-			cl := &soc.Clusters[ci]
-			floor := cl.MaxMHz()
-			if cl.Type == platform.Big {
-				floor = 1500 // the booster's big-cluster frequency floor
-			}
-			if cl.CurMHz < floor && len(soc.OnlineCores(cl.Type)) > 0 {
-				ctx.Sys.SetClusterFreq(ci, floor)
+		if !ctx.Rec.replaying() {
+			// Frequency kicks act on live DVFS state; during replay that
+			// state is restored from the snapshot. The RNG draw below still
+			// runs, keeping the replayed stream in lockstep.
+			for ci := range soc.Clusters {
+				cl := &soc.Clusters[ci]
+				floor := cl.MaxMHz()
+				if cl.Type == platform.Big {
+					floor = 1500 // the booster's big-cluster frequency floor
+				}
+				if cl.CurMHz < floor && len(soc.OnlineCores(cl.Type)) > 0 {
+					ctx.Sys.SetClusterFreq(ci, floor)
+				}
 			}
 		}
-		ctx.Eng.At(now+ctx.Exp(meanGap), touch)
+		ctx.At(now+ctx.Exp(meanGap), touch)
 	}
-	ctx.Eng.After(ctx.Exp(meanGap), touch)
+	ctx.After(ctx.Exp(meanGap), touch)
 }
 
 // CyclesForDuty returns the work in cycles that occupies the given duty

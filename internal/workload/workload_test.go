@@ -25,7 +25,7 @@ func newCtx(dur event.Time) *Ctx {
 
 func TestThreadPushCallbacks(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "t", 1.5)
+	th := NewThread(ctx, "t", 1.5)
 	var order []int
 	th.Push(1000, func(event.Time) { order = append(order, 1) })
 	th.Push(1000, nil)
@@ -38,7 +38,7 @@ func TestThreadPushCallbacks(t *testing.T) {
 
 func TestThreadPushZeroImmediate(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "t", 1)
+	th := NewThread(ctx, "t", 1)
 	fired := false
 	th.Push(0, func(event.Time) { fired = true })
 	if !fired {
@@ -99,7 +99,7 @@ func TestHeavyTail(t *testing.T) {
 
 func TestPeriodicRuns(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "p", 1)
+	th := NewThread(ctx, "p", 1)
 	count := 0
 	Periodic(ctx, th, PeriodicConfig{
 		Period: 100 * event.Millisecond,
@@ -114,7 +114,7 @@ func TestPeriodicRuns(t *testing.T) {
 
 func TestPeriodicDropIfBusy(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "p", 1)
+	th := NewThread(ctx, "p", 1)
 	done := 0
 	// Work takes 300ms at 500 MHz, period is 100ms: with DropIfBusy most
 	// activations are skipped.
@@ -132,7 +132,7 @@ func TestPeriodicDropIfBusy(t *testing.T) {
 
 func TestContinuousSaturates(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "c", 1)
+	th := NewThread(ctx, "c", 1)
 	Continuous(ctx, th, 1e6)
 	ctx.Eng.Run(ctx.Duration)
 	busy := th.Task.LittleRanNs + th.Task.BigRanNs
@@ -143,7 +143,7 @@ func TestContinuousSaturates(t *testing.T) {
 
 func TestPoissonBursts(t *testing.T) {
 	ctx := newCtx(2 * event.Second)
-	th := NewThread(ctx.Sys, "b", 1)
+	th := NewThread(ctx, "b", 1)
 	PoissonBursts(ctx, th, 50*event.Millisecond, 1000, 0.2)
 	ctx.Eng.Run(ctx.Duration)
 	if th.Task.SegmentsDone < 20 || th.Task.SegmentsDone > 70 {
@@ -153,8 +153,8 @@ func TestPoissonBursts(t *testing.T) {
 
 func TestRunStagesSequential(t *testing.T) {
 	ctx := newCtx(event.Second)
-	a := NewThread(ctx.Sys, "a", 1)
-	b := NewThread(ctx.Sys, "b", 1)
+	a := NewThread(ctx, "a", 1)
+	b := NewThread(ctx, "b", 1)
 	var doneAt event.Time
 	var aDone, bDone event.Time
 	a.Task.OnIdle = func(now event.Time) { aDone = now }
@@ -174,9 +174,9 @@ func TestRunStagesSequential(t *testing.T) {
 
 func TestRunStagesParallelBarrier(t *testing.T) {
 	ctx := newCtx(event.Second)
-	a := NewThread(ctx.Sys, "a", 1)
-	b := NewThread(ctx.Sys, "b", 1)
-	c := NewThread(ctx.Sys, "c", 1)
+	a := NewThread(ctx, "a", 1)
+	b := NewThread(ctx, "b", 1)
+	c := NewThread(ctx, "c", 1)
 	var doneAt event.Time
 	RunStages(ctx, []Stage{
 		{Threads: []*Thread{a, b}, Work: 5e5},
@@ -193,7 +193,7 @@ func TestRunStagesParallelBarrier(t *testing.T) {
 
 func TestRunStagesPostDelay(t *testing.T) {
 	ctx := newCtx(event.Second)
-	a := NewThread(ctx.Sys, "a", 1)
+	a := NewThread(ctx, "a", 1)
 	var doneAt event.Time
 	RunStages(ctx, []Stage{
 		{Threads: []*Thread{a}, Work: 5e5, PostDelay: 50 * event.Millisecond},
@@ -215,7 +215,7 @@ func TestRunStagesEmptyStage(t *testing.T) {
 
 func TestInteractionLoopRecordsLatency(t *testing.T) {
 	ctx := newCtx(2 * event.Second)
-	th := NewThread(ctx.Sys, "ui", 1)
+	th := NewThread(ctx, "ui", 1)
 	InteractionLoop(ctx, InteractionConfig{
 		Think: 100 * event.Millisecond,
 		Stages: func() []Stage {
@@ -233,7 +233,7 @@ func TestInteractionLoopRecordsLatency(t *testing.T) {
 
 func TestInteractionLoopSilent(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "ui", 1)
+	th := NewThread(ctx, "ui", 1)
 	InteractionLoop(ctx, InteractionConfig{
 		Think: 50 * event.Millisecond, Silent: true,
 		Stages: func() []Stage {
@@ -251,7 +251,7 @@ func TestInteractionLoopSilent(t *testing.T) {
 
 func TestInteractionBoostPlacesOnBig(t *testing.T) {
 	ctx := newCtx(event.Second)
-	th := NewThread(ctx.Sys, "ui", 1.8)
+	th := NewThread(ctx, "ui", 1.8)
 	sawBig := false
 	InteractionLoop(ctx, InteractionConfig{
 		Think: 50 * event.Millisecond,

@@ -13,8 +13,14 @@ import "biglittle/internal/lab"
 type LabRunner = lab.Runner
 
 // LabJob is one declarative experiment for a LabRunner: a fully resolved
-// Config plus optional fingerprint salt and a per-job Prepare hook.
+// Config plus optional fingerprint salt, a per-job Prepare hook, and an
+// optional fork spec for snapshot acceleration.
 type LabJob = lab.Job
+
+// LabForkSpec names the shared warmed prefix of a fork-accelerated LabJob:
+// the base config to run and the fork time. Jobs sharing a (Base, At) share
+// one prefix simulation (see DESIGN.md §9).
+type LabForkSpec = lab.ForkSpec
 
 // LabCache is the content-addressed result store backing warm re-runs.
 type LabCache = lab.Cache
