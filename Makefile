@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke fleet-smoke fork-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-compare bench-record xray-smoke diff-smoke profile-single serve-smoke fleet-smoke fork-smoke explore-smoke report quick-report report-par cover fuzz-smoke golden-update fmt vet all
 
 all: build vet test test-race
 
@@ -25,7 +25,7 @@ bench-smoke:
 # output into BENCH_baseline.json; bench-compare re-measures and fails if a
 # gated benchmark's median regressed >10% (time only on the same CPU model;
 # allocs/op everywhere — it is machine-independent).
-GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower|BenchmarkDigestOff|BenchmarkDigestOn|BenchmarkForkSweep
+GATED_BENCH = BenchmarkSingleRun|BenchmarkFig2Speedup|BenchmarkFig3SpecPower|BenchmarkDigestOff|BenchmarkDigestOn|BenchmarkForkSweep|BenchmarkExplore
 
 bench-baseline:
 	go test -run '^$$' -bench '$(GATED_BENCH)' -benchmem -count 6 . | tee /tmp/blbench-baseline.txt
@@ -118,6 +118,28 @@ fork-smoke:
 		grep -q 'fork: 4 continuations: 1 prefixes simulated, 3 reused' /tmp/fork-sweep.log || { echo "fork-smoke: sweep did not share one prefix" >&2; exit 1; }; \
 		grep -q 'fork: 2 continuations: 0 prefixes simulated, 2 reused' /tmp/fork-disk2.log || { echo "fork-smoke: prefix not reloaded from the disk tier" >&2; exit 1; }; \
 		echo "fork-smoke: OK"
+
+# End-to-end smoke of the design-space explorer: on a small
+# screening-faithful space, the successive-halving ladder must (a) find the
+# exact frontier the exhaustive sweep finds (-verify-exhaustive exits 1
+# otherwise), (b) actually prune candidates along the way, and (c) replay
+# byte-identically from the cache the first run warmed, simulating nothing.
+explore-smoke:
+	go build -o /tmp/blexplore ./cmd/blexplore
+	dir=$$(mktemp -d); \
+		/tmp/blexplore -app fifa15 -duration 2s -objective edp -eta 2 -keep 3 \
+			-dim 'governor=interactive,performance,powersave,userspace,ondemand,conservative,past' \
+			-cache-dir $$dir -verify-exhaustive >/tmp/explore-cold.txt 2>/tmp/explore-cold.log; \
+		/tmp/blexplore -app fifa15 -duration 2s -objective edp -eta 2 -keep 3 \
+			-dim 'governor=interactive,performance,powersave,userspace,ondemand,conservative,past' \
+			-cache-dir $$dir -verify-exhaustive >/tmp/explore-warm.txt 2>/tmp/explore-warm.log; \
+		cat /tmp/explore-cold.log /tmp/explore-warm.log; \
+		rm -rf $$dir; \
+		grep -q 'frontier matches exhaustive' /tmp/explore-cold.txt || { echo "explore-smoke: frontier differs from exhaustive" >&2; exit 1; }; \
+		grep -Eq 'pruned [1-9]' /tmp/explore-cold.txt || { echo "explore-smoke: ladder pruned nothing" >&2; exit 1; }; \
+		grep -Eq ' 0 simulated' /tmp/explore-warm.log || { echo "explore-smoke: warm re-run still simulated" >&2; exit 1; }; \
+		cmp /tmp/explore-cold.txt /tmp/explore-warm.txt || { echo "explore-smoke: warm report differs from cold" >&2; exit 1; }; \
+		echo "explore-smoke: OK"
 
 # End-to-end smoke of the causal decision tracer: record a golden-config
 # run with -xray, then require blxray to reconstruct a placement decision

@@ -478,6 +478,75 @@ func forkSweepJobs() ([]biglittle.LabJob, []biglittle.LabJob) {
 	return forkJobs, coldJobs
 }
 
+// BenchmarkExplore times the successive-halving search over a 3072-point
+// hardware-led space (cores x governor x scheduler x sampling x target
+// load on fifa15) and holds it to the tentpole claim: the ladder must find
+// the exact energy-delay winner the exhaustive sweep finds while
+// simulating >=10x fewer nanoseconds. The exhaustive ground truth runs
+// once per process; the x-sim-avoided metric is exhaustive simulated time
+// over the exploration's, and the gate tracks it alongside time/op.
+func BenchmarkExplore(b *testing.B) {
+	space := exploreBenchSpace()
+	opts := func() biglittle.ExploreOptions {
+		return biglittle.ExploreOptions{
+			Runner:      biglittle.NewLabRunner(1, nil),
+			Objective:   biglittle.ExploreEDP,
+			Eta:         4,
+			Keep:        16,
+			MinDuration: space.Base.Duration / 64,
+		}
+	}
+	exhaustiveOnce.Do(func() {
+		rep, err := biglittle.ExploreExhaustive(space, opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exhaustiveWinner = rep.Winner.Index
+	})
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := biglittle.Explore(space, opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Winner.Index != exhaustiveWinner {
+			b.Fatalf("explore winner [%d] %s differs from exhaustive winner [%d]",
+				rep.Winner.Index, rep.Winner.Desc, exhaustiveWinner)
+		}
+		ratio = float64(rep.ExhaustiveNs) / float64(rep.SimulatedNs)
+		if ratio < 10 {
+			b.Fatalf("explore simulated only %.1fx less than exhaustive, want >=10x", ratio)
+		}
+	}
+	b.ReportMetric(ratio, "x-sim-avoided")
+}
+
+var (
+	exhaustiveOnce   sync.Once
+	exhaustiveWinner int
+)
+
+// exploreBenchSpace is the BenchmarkExplore search space: dimensions with
+// first-order effects (core allocation, governor, scheduler) ahead of
+// governor tunables, so the winner is separated by a margin low-fidelity
+// screening preserves.
+func exploreBenchSpace() biglittle.ExploreSpace {
+	app, _ := biglittle.AppByName("fifa15")
+	base := biglittle.DefaultConfig(app)
+	base.Duration = benchOpts.Duration
+	return biglittle.ExploreSpace{
+		Base: base,
+		Dims: []biglittle.ExploreDim{
+			{Key: "cores", Values: []string{"L4+B4", "L4+B2", "L4+B1", "L4", "L2+B2", "L2+B1", "L2", "L1+B1"}},
+			{Key: "governor", Values: []string{"interactive", "performance", "powersave", "ondemand", "conservative", "past"}},
+			{Key: "scheduler", Values: []string{"hmp", "efficiency", "parallelism", "eas"}},
+			{Key: "sample-ms", Values: []string{"10", "60", "150", "400"}},
+			{Key: "target-load", Values: []string{"50", "70", "90", "99"}},
+		},
+	}
+}
+
 // BenchmarkAblationL2Size: how much of mcf's same-frequency gap the L2-size
 // difference explains.
 func BenchmarkAblationL2Size(b *testing.B) {

@@ -1,0 +1,170 @@
+// Command blexplore searches a declared configuration space for the Pareto
+// front of (energy, run-time) using successive halving: short snapshot-forked
+// runs screen the whole space cheaply, and only the survivors of each rung
+// graduate to longer, higher-fidelity runs — the final rung at full fidelity
+// from scratch. Every rung is memoized through the lab cache, so repeating or
+// refining an exploration simulates only what is new.
+//
+// The space is the cross product of -dim axes (or a -space file with one
+// "key = v1,v2,v3" dimension per line); keys come from the override
+// vocabulary the other tools share (governor tunables, HMP up/down
+// thresholds, scheduler, cores, ...).
+//
+// Usage:
+//
+//	blexplore -app fifa15 -dim "governor=interactive,ondemand,past" \
+//	          -dim "sample-ms=10,60,150" -objective edp
+//	blexplore -app bbench -space space.txt -budget 15m -objective energy
+//	blexplore -app fifa15 -space space.txt -verify-exhaustive
+//
+// -budget caps the planned simulated time; a space too large for it is
+// screened on a seeded deterministic sample. -verify-exhaustive re-runs the
+// space exhaustively at full fidelity and fails unless the exploration found
+// the identical frontier — on the cache the exploration just warmed, only
+// the pruned points simulate.
+//
+// The report on stdout is deterministic for fixed inputs (plan-derived, so a
+// warm re-run prints byte-identical output); runtime statistics go to
+// stderr. With -check, the final full-fidelity rung runs under the
+// invariant auditor. With -remote, full-fidelity from-scratch rungs execute
+// on the fleet while fork-accelerated screening rungs stay local.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"biglittle"
+	"biglittle/internal/cli"
+)
+
+// dimFlags collects repeatable -dim flags.
+type dimFlags []biglittle.ExploreDim
+
+func (d *dimFlags) String() string { return fmt.Sprintf("%d dims", len(*d)) }
+
+func (d *dimFlags) Set(spec string) error {
+	dim, err := biglittle.ParseExploreDim(spec)
+	if err != nil {
+		return err
+	}
+	*d = append(*d, dim)
+	return nil
+}
+
+func main() {
+	ex := cli.RegisterExperiment(flag.CommandLine, 15*time.Second)
+	var dims dimFlags
+	flag.Var(&dims, "dim", "space dimension as key=v1,v2,... (repeatable; override-vocabulary keys)")
+	var (
+		appName   = flag.String("app", "", "application to explore (required)")
+		spaceFile = flag.String("space", "", "space spec file: one key=v1,v2,... dimension per line, '#' comments")
+		objective = flag.String("objective", "edp", "scalar objective ranking candidates: energy|edp|runtime")
+		budget    = flag.Duration("budget", 0, "cap on planned simulated time (e.g. 15m of simulated seconds; 0 = screen the whole space)")
+		eta       = flag.Int("eta", 4, "halving factor: each rung keeps ~1/eta of its candidates and runs eta times longer")
+		keep      = flag.Int("keep", 4, "finalists graduating to the full-fidelity final rung")
+		minRung   = flag.Duration("min-rung", 0, "screening-fidelity floor: no rung runs shorter than this (default duration/16)")
+		verify    = flag.Bool("verify-exhaustive", false, "re-run the space exhaustively and fail unless the frontier matches")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "blexplore:", err)
+		os.Exit(1)
+	}
+	if *appName == "" {
+		fail(fmt.Errorf("-app is required (one of: %s)", strings.Join(appNames(), ", ")))
+	}
+	app, err := biglittle.AppByName(*appName)
+	if err != nil {
+		fail(err)
+	}
+	obj, err := biglittle.ParseExploreObjective(*objective)
+	if err != nil {
+		fail(err)
+	}
+	if *spaceFile != "" {
+		text, err := os.ReadFile(*spaceFile)
+		if err != nil {
+			fail(err)
+		}
+		fileDims, err := biglittle.ParseExploreSpec(string(text))
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *spaceFile, err))
+		}
+		dims = append(fileDims, dims...)
+	}
+	if len(dims) == 0 {
+		fail(fmt.Errorf("no space: declare at least one -dim or a -space file"))
+	}
+
+	base := biglittle.DefaultConfig(app)
+	base.Seed = ex.Seed
+	base.Duration = biglittle.Time(ex.Duration.Nanoseconds())
+	space := biglittle.ExploreSpace{Base: base, Dims: dims}
+
+	runner, err := ex.Runner()
+	if err != nil {
+		fail(err)
+	}
+	// -check audits the final full-fidelity rung (Options.Check), not every
+	// screening run: a globally checking runner cannot fork and the ladder
+	// loses its acceleration. The engine flips the runner flag around the
+	// final rung itself.
+	runner.Check = false
+
+	opts := biglittle.ExploreOptions{
+		Runner:      runner,
+		Objective:   obj,
+		Budget:      biglittle.Time(budget.Nanoseconds()),
+		Eta:         *eta,
+		Keep:        *keep,
+		MinDuration: biglittle.Time(minRung.Nanoseconds()),
+		Seed:        ex.Seed,
+		Check:       ex.Check,
+		Log:         ex.Logger(),
+	}
+
+	start := time.Now()
+	rep, err := biglittle.Explore(space, opts)
+	if err != nil {
+		fail(err)
+	}
+	rep.Render(os.Stdout)
+
+	if *verify {
+		exh, err := biglittle.ExploreExhaustive(space, biglittle.ExploreOptions{
+			Runner: runner, Objective: obj, Log: ex.Logger(),
+		})
+		if err != nil {
+			fail(err)
+		}
+		if !biglittle.SameExploreFrontier(rep, exh) {
+			fmt.Fprintf(os.Stderr, "blexplore: frontier DIFFERS from exhaustive (explore %s vs exhaustive %s)\n",
+				frontierIndices(rep), frontierIndices(exh))
+			os.Exit(1)
+		}
+		fmt.Println("frontier matches exhaustive")
+	}
+	cli.PrintLabStats(os.Stderr, runner, time.Since(start))
+}
+
+func frontierIndices(rep *biglittle.ExploreReport) string {
+	parts := make([]string, len(rep.Frontier))
+	for i, p := range rep.Frontier {
+		parts[i] = fmt.Sprint(p.Index)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func appNames() []string {
+	apps := biglittle.Apps()
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name
+	}
+	return names
+}

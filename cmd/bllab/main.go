@@ -121,6 +121,13 @@ func main() {
 		fmt.Printf("current entries: %d\n", current)
 		fmt.Printf("stale entries:   %d (from older code versions; `bllab prune` removes them)\n", stale)
 		fmt.Printf("total size:      %d bytes\n", bytes)
+		prefixes, prefixBytes, perr := cache.PrefixStats()
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "bllab:", perr)
+			os.Exit(1)
+		}
+		fmt.Printf("warmed prefixes: %d (%d bytes; fork sweeps resume from these instead of simulating the shared prefix)\n",
+			prefixes, prefixBytes)
 
 	case "prune":
 		logAffected("pruning", func(e lab.Entry) bool { return e.Version != cache.Version() })

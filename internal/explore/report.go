@@ -1,0 +1,62 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+
+	"biglittle/internal/event"
+)
+
+// simDur renders a simulated duration at human scale.
+func simDur(t event.Time) string {
+	switch {
+	case t >= event.Second:
+		return fmt.Sprintf("%.3gs", t.Seconds())
+	case t >= event.Millisecond:
+		return fmt.Sprintf("%.3gms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Render writes the human-readable exploration report. Everything printed
+// here is deterministic for fixed (space, options) — planned ladder costs,
+// not actual ones — so a warm re-run's report is byte-identical to the
+// cold run that populated the cache (runtime stats belong on stderr, see
+// cli.PrintLabStats).
+func (rep *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "explore: app=%s objective=%s space=%d configs (%s)\n",
+		rep.App, rep.Objective, rep.SpaceSize, rep.Shape)
+	mode := "screened all"
+	if rep.Sampled {
+		mode = fmt.Sprintf("sampled %d (budget)", rep.Screened)
+	}
+	fmt.Fprintf(w, "ladder: %d rungs, eta=%d, keep=%d, %s\n", len(rep.Rungs), rep.Eta, rep.Keep, mode)
+	for i, rg := range rep.Rungs {
+		fork := "from scratch"
+		if rg.ForkAt > 0 {
+			fork = "fork@" + simDur(rg.ForkAt)
+		}
+		fmt.Fprintf(w, "  rung %d: %4d candidates x %-8s (%s)  -> promoted %d, pruned %d\n",
+			i, rg.Candidates, simDur(rg.Duration), fork, rg.Promoted, rg.Pruned)
+	}
+	if rep.SpaceSize > rep.Screened {
+		fmt.Fprintf(w, "note: %d of %d configs never screened (budget sampling)\n",
+			rep.SpaceSize-rep.Screened, rep.SpaceSize)
+	}
+	ratio := 0.0
+	if rep.PlannedNs > 0 {
+		ratio = float64(rep.ExhaustiveNs) / float64(rep.PlannedNs)
+	}
+	fmt.Fprintf(w, "planned simulation: %s vs exhaustive %s — %.1fx avoided\n",
+		simDur(event.Time(rep.PlannedNs)), simDur(event.Time(rep.ExhaustiveNs)), ratio)
+	fmt.Fprintf(w, "frontier (%d non-dominated of %d finalists):\n",
+		len(rep.Frontier), rep.Rungs[len(rep.Rungs)-1].Candidates)
+	for _, p := range rep.Frontier {
+		fmt.Fprintf(w, "  [%4d] %-40s energy_j=%.3f delay_ms=%.3f %s=%.4g\n",
+			p.Index, p.Desc, p.EnergyMJ/1000, p.DelayS*1000, rep.Objective, p.Score)
+	}
+	fmt.Fprintf(w, "winner: [%d] %s (%s=%.4g, energy_j=%.3f, delay_ms=%.3f)\n",
+		rep.Winner.Index, rep.Winner.Desc, rep.Objective, rep.Winner.Score,
+		rep.Winner.EnergyMJ/1000, rep.Winner.DelayS*1000)
+}

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"biglittle/internal/core"
@@ -37,6 +38,11 @@ type Client struct {
 	PollWait time.Duration
 	// Log, when non-nil, narrates submissions and backpressure at Debug.
 	Log *slog.Logger
+
+	// forkWarned dedupes the fork-job decline warning: an explore or fork
+	// sweep routes thousands of fork-accelerated jobs past the executor, and
+	// one Warn explains the routing better than one per job.
+	forkWarned atomic.Bool
 }
 
 func (c *Client) http() *http.Client {
@@ -74,8 +80,10 @@ func (c *Client) Execute(job lab.Job) (core.Result, bool, error) {
 	if job.Fork != nil {
 		// Louder than the generic decline: a caller who pointed a
 		// fork-accelerated sweep at the fleet should see why it ran locally.
-		if c.Log != nil {
-			c.Log.Warn("fork-accelerated job rejected as non-remotable; simulating locally",
+		// Warned once per client — a rung of thousands of fork jobs (blexplore
+		// screening) stays local by design, not per-job surprise.
+		if c.Log != nil && c.forkWarned.CompareAndSwap(false, true) {
+			c.Log.Warn("fork-accelerated jobs are non-remotable; simulating them locally (full-fidelity from-scratch rungs still ship to the fleet)",
 				"app", job.Config.App.Name, "fork_at", job.Fork.At)
 		}
 		return core.Result{}, false, nil

@@ -219,6 +219,29 @@ func (c *Cache) PutPrefix(key string, blob []byte) error {
 	return os.Rename(tmp.Name(), p)
 }
 
+// PrefixStats reports the disk prefix tier's footprint under the current
+// version directory — how many warmed prefix snapshots are persisted and
+// their total bytes (what `bllab stat` prints). Results and prefixes share
+// the version directory, so PruneStale drops stale prefixes along with
+// stale results.
+func (c *Cache) PrefixStats() (entries int, bytes int64, err error) {
+	root := filepath.Join(c.dir, c.version, "prefix")
+	werr := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(p) == ".blsnap" {
+			entries++
+			bytes += info.Size()
+		}
+		return nil
+	})
+	return entries, bytes, werr
+}
+
 // Entry describes one cached result for inspection (bllab ls).
 type Entry struct {
 	Version     string

@@ -20,7 +20,9 @@ import (
 type prefixEntry struct {
 	once      sync.Once
 	state     *snapshot.State
-	simulated bool // the prefix was built by simulation, not loaded
+	simulated bool  // the prefix was built by simulation, not loaded
+	size      int64 // estimated decoded footprint, for the byte budget
+	tracked   bool  // accounted in prefixLRU/prefixBytes (under prefixMu)
 	err       error
 }
 
@@ -71,10 +73,19 @@ func (r *Runner) prefixState(spec *ForkSpec) (*snapshot.State, error) {
 	e.once.Do(func() {
 		built = true
 		e.state, e.simulated, e.err = r.loadOrBuildPrefix(spec, key)
+		if e.err == nil {
+			e.size = e.state.ApproxBytes()
+		}
 	})
-	switch {
-	case e.err != nil:
+	if e.err != nil {
 		return nil, e.err
+	}
+	if evicted := r.prefixTouch(key, e); evicted > 0 {
+		n := int64(evicted)
+		r.countAdd(func(s *Stats) { s.PrefixEvictions += n }, "lab_prefix_evictions", n)
+		r.logJob("prefix evicted", spec.Base.App.Name, "evicted", evicted, "budget", r.prefixBudget())
+	}
+	switch {
 	case built && e.simulated:
 		r.count(func(s *Stats) { s.PrefixMisses++ }, "lab_prefix_misses")
 		r.logJob("prefix simulated", spec.Base.App.Name, "at", spec.At, "key", key[:12])
@@ -124,6 +135,64 @@ func (r *Runner) loadOrBuildPrefix(spec *ForkSpec, key string) (st *snapshot.Sta
 		r.Cache.PutPrefix(key, blob)
 	}
 	return captured, true, nil
+}
+
+// prefixBudget resolves the Runner.PrefixBudget convention: zero means the
+// default, negative means unlimited (reported as 0 = "no budget").
+func (r *Runner) prefixBudget() int64 {
+	switch {
+	case r.PrefixBudget == 0:
+		return DefaultPrefixBudget
+	case r.PrefixBudget < 0:
+		return 0
+	default:
+		return r.PrefixBudget
+	}
+}
+
+// prefixTouch marks key as the most recently handed-out prefix and evicts
+// least-recently-used entries until the tier fits the byte budget again,
+// returning how many were dropped. The entry just handed out is never a
+// victim — a single prefix larger than the whole budget still serves the
+// sweep that warmed it — and an entry already evicted by a concurrent
+// handout is left untracked rather than resurrected, so the byte tally
+// only ever counts states reachable from the map.
+func (r *Runner) prefixTouch(key string, e *prefixEntry) (evicted int) {
+	r.prefixMu.Lock()
+	defer r.prefixMu.Unlock()
+	if r.prefixes[key] != e {
+		return 0
+	}
+	if !e.tracked {
+		e.tracked = true
+		r.prefixBytes += e.size
+		r.prefixLRU = append(r.prefixLRU, key)
+	} else if n := len(r.prefixLRU); n > 0 && r.prefixLRU[n-1] != key {
+		for i, k := range r.prefixLRU {
+			if k == key {
+				copy(r.prefixLRU[i:], r.prefixLRU[i+1:])
+				r.prefixLRU[n-1] = key
+				break
+			}
+		}
+	}
+	budget := r.prefixBudget()
+	if budget <= 0 {
+		return 0
+	}
+	for r.prefixBytes > budget && len(r.prefixLRU) > 1 {
+		victim := r.prefixLRU[0]
+		if victim == key {
+			break
+		}
+		r.prefixLRU = r.prefixLRU[1:]
+		if ve := r.prefixes[victim]; ve != nil {
+			r.prefixBytes -= ve.size
+			delete(r.prefixes, victim)
+		}
+		evicted++
+	}
+	return evicted
 }
 
 // forkRun is the attempt body of a fork-accelerated job: resume the shared

@@ -172,6 +172,48 @@ func TestForkPrefixCorruptBlobRebuilds(t *testing.T) {
 	}
 }
 
+// TestForkPrefixBudgetEviction pins the in-process tier's byte budget: with
+// a budget too small for two decoded prefixes, the older one is evicted when
+// the newer is handed out, a revisit rebuilds it (another PrefixMiss), and
+// results are unaffected — eviction only trades memory for rebuild time.
+func TestForkPrefixBudgetEviction(t *testing.T) {
+	base := testConfig(t)
+	jobA := Job{Config: base, Fork: &ForkSpec{Base: base, At: forkAt}}
+	jobB := Job{Config: base, Fork: &ForkSpec{Base: base, At: 2 * forkAt}}
+	want := core.Run(base)
+
+	r := &Runner{Workers: 1, PrefixBudget: 1} // at most one resident prefix
+	for i, job := range []Job{jobA, jobB, jobA} {
+		res, err := r.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every job forks the unchanged base, so each result must equal the
+		// from-scratch run regardless of which prefixes were evicted.
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("job %d: result differs from the from-scratch run after eviction", i)
+		}
+	}
+	s := r.Stats()
+	if s.PrefixMisses != 3 || s.PrefixHits != 0 {
+		t.Fatalf("PrefixMisses=%d PrefixHits=%d, want 3 rebuilds and no reuse under a one-byte budget", s.PrefixMisses, s.PrefixHits)
+	}
+	if s.PrefixEvictions != 2 {
+		t.Fatalf("PrefixEvictions=%d, want 2 (A evicted by B, then B by A)", s.PrefixEvictions)
+	}
+
+	// Unlimited budget: the same sequence keeps both prefixes resident.
+	un := &Runner{Workers: 1, PrefixBudget: -1}
+	for _, job := range []Job{jobA, jobB, jobA} {
+		if _, err := un.Run(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := un.Stats(); s.PrefixMisses != 2 || s.PrefixHits != 1 || s.PrefixEvictions != 0 {
+		t.Fatalf("unlimited budget: PrefixMisses=%d PrefixHits=%d PrefixEvictions=%d, want 2, 1, 0", s.PrefixMisses, s.PrefixHits, s.PrefixEvictions)
+	}
+}
+
 func TestForkRejections(t *testing.T) {
 	base := testConfig(t)
 

@@ -113,10 +113,14 @@ type Stats struct {
 	// (built earlier in this process, or found in the cache's prefix tier);
 	// PrefixMisses counts prefix simulations actually executed — on a sweep
 	// of N variants sharing one (Base, At), PrefixMisses is 1 and PrefixHits
-	// is N-1.
-	Forks        int64
-	PrefixHits   int64
-	PrefixMisses int64
+	// is N-1. PrefixEvictions counts decoded prefixes dropped from the
+	// in-process tier to stay under Runner.PrefixBudget; an evicted prefix
+	// re-requested later is rebuilt (or reloaded from the disk tier) and
+	// counted again.
+	Forks           int64
+	PrefixHits      int64
+	PrefixMisses    int64
+	PrefixEvictions int64
 }
 
 // Runner executes jobs on a worker pool with caching. The zero value is
@@ -158,6 +162,15 @@ type Runner struct {
 	// Retries is how many extra attempts a panicking or timed-out job gets
 	// (<0: none; 0: the default of 1).
 	Retries int
+	// PrefixBudget bounds the bytes of decoded prefix snapshots the
+	// in-process fork tier keeps alive at once (estimated via
+	// snapshot.State.ApproxBytes). A wide multi-app, multi-rung fork sweep
+	// would otherwise hold every decoded state until the runner dies. Least
+	// recently handed-out prefixes are evicted first (Stats.PrefixEvictions);
+	// the entry just handed out is never evicted, so a single oversized
+	// prefix still serves its sweep. 0 means DefaultPrefixBudget; negative
+	// means unlimited.
+	PrefixBudget int64
 	// Check enables invariant auditing (internal/check) for every job: fresh
 	// simulations run with an auditor attached and fail on any violation, and
 	// cache hits are verified by re-simulating with an auditor and requiring
@@ -174,11 +187,21 @@ type Runner struct {
 	// once per runner under singleflight. The on-disk tier lives in the
 	// Cache's prefix/ area and survives across processes. prefixKeys
 	// memoizes the fingerprint-derived key per spec pointer, so a sweep
-	// sharing one *ForkSpec marshals the base config once.
-	prefixMu   sync.Mutex
-	prefixes   map[string]*prefixEntry
-	prefixKeys map[*ForkSpec]string
+	// sharing one *ForkSpec marshals the base config once. prefixLRU orders
+	// the tracked keys least-recently-handed-out first and prefixBytes sums
+	// their estimated sizes, for PrefixBudget eviction.
+	prefixMu    sync.Mutex
+	prefixes    map[string]*prefixEntry
+	prefixKeys  map[*ForkSpec]string
+	prefixLRU   []string
+	prefixBytes int64
 }
+
+// DefaultPrefixBudget is the in-process prefix tier's byte budget when
+// Runner.PrefixBudget is zero: enough for tens of typical decoded
+// snapshots, small enough that a hundred-app fork matrix cannot hold every
+// prefix alive at once.
+const DefaultPrefixBudget int64 = 1 << 30
 
 // New returns a runner with the given worker count and cache.
 func New(workers int, cache *Cache) *Runner {
@@ -233,6 +256,15 @@ func (r *Runner) count(fn func(*Stats), counters ...string) {
 	for _, name := range counters {
 		r.Tel.Counter(name).Inc()
 	}
+}
+
+// countAdd is count for increments larger than one: it applies fn to the
+// stats and adds n to the single mirrored counter, under the same lock.
+func (r *Runner) countAdd(fn func(*Stats), counter string, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(&r.stats)
+	r.Tel.Counter(counter).Add(n)
 }
 
 // RunAll executes every job and returns the results in submission order.
@@ -295,12 +327,29 @@ func (p *progress) step() {
 	if rate > 0 {
 		eta = time.Duration(float64(p.total-int(n)) / rate * float64(time.Second))
 	}
-	p.r.Log.Info("sweep progress",
+	args := []any{
 		"completed", n,
 		"total", p.total,
-		"jobs_per_sec", math.Round(rate*10)/10,
-		"eta", eta.Round(10*time.Millisecond).String(),
-	)
+		"jobs_per_sec", math.Round(rate*10) / 10,
+		"eta", eta.Round(10 * time.Millisecond).String(),
+	}
+	// Prefix-tier effectiveness, when the sweep forks: how many
+	// continuations have resumed from a warmed prefix, and what share of
+	// prefix requests were served without simulating one.
+	if s := p.r.Stats(); s.Forks > 0 || s.PrefixMisses > 0 {
+		hitPct := 0.0
+		if reqs := s.PrefixHits + s.PrefixMisses; reqs > 0 {
+			hitPct = 100 * float64(s.PrefixHits) / float64(reqs)
+		}
+		args = append(args,
+			"forks", s.Forks,
+			"prefix_hit_pct", math.Round(hitPct*10)/10,
+		)
+		if s.PrefixEvictions > 0 {
+			args = append(args, "prefix_evictions", s.PrefixEvictions)
+		}
+	}
+	p.r.Log.Info("sweep progress", args...)
 }
 
 // finish logs the sweep summary with the runner's cumulative tallies.
@@ -317,6 +366,7 @@ func (p *progress) finish() {
 		"simulated", s.Simulated,
 		"forks", s.Forks,
 		"prefix_hits", s.PrefixHits,
+		"prefix_evictions", s.PrefixEvictions,
 		"remote", s.Remote,
 		"stored", s.Stored,
 		"retries", s.Retries,

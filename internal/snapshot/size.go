@@ -1,0 +1,90 @@
+package snapshot
+
+import "reflect"
+
+// ApproxBytes estimates the in-memory footprint of a decoded State: the
+// struct graph walked recursively, counting struct fields, slice and map
+// backing arrays, string bytes, and pointed-to values. It exists so the
+// lab's in-process prefix tier can enforce a byte budget over the decoded
+// snapshots it keeps alive for fork handout — an estimate is enough for
+// eviction decisions, and walking the DTO graph is far cheaper than an
+// encode round-trip (which the fork fast path deliberately avoids).
+//
+// The walk assumes the State is the tree of plain-data DTOs the codec
+// produces: no cycles, no channels, no functions. Unknown kinds count as
+// their reflect.Type size.
+func (st *State) ApproxBytes() int64 {
+	if st == nil {
+		return 0
+	}
+	return deepSize(reflect.ValueOf(st))
+}
+
+// deepSize returns the approximate bytes reachable from v, including v's
+// own storage when it is a pointed-to or interface-boxed value.
+func deepSize(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			return int64(v.Type().Size())
+		}
+		return int64(v.Type().Size()) + deepSize(v.Elem())
+	case reflect.Slice:
+		if v.IsNil() {
+			return int64(v.Type().Size())
+		}
+		n := int64(v.Type().Size())
+		elem := v.Type().Elem()
+		switch elem.Kind() {
+		case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+			reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+			// Flat element type: the backing array is element size x capacity.
+			return n + int64(elem.Size())*int64(v.Cap())
+		}
+		for i := 0; i < v.Len(); i++ {
+			n += deepSize(v.Index(i))
+		}
+		return n
+	case reflect.Map:
+		if v.IsNil() {
+			return int64(v.Type().Size())
+		}
+		n := int64(v.Type().Size())
+		iter := v.MapRange()
+		for iter.Next() {
+			n += deepSize(iter.Key()) + deepSize(iter.Value())
+		}
+		return n
+	case reflect.String:
+		return int64(v.Type().Size()) + int64(v.Len())
+	case reflect.Struct:
+		n := int64(0)
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Ptr, reflect.Interface, reflect.Slice, reflect.Map, reflect.String, reflect.Struct, reflect.Array:
+				n += deepSize(f)
+			default:
+				n += int64(f.Type().Size())
+			}
+		}
+		if n == 0 {
+			n = int64(v.Type().Size())
+		}
+		return n
+	case reflect.Array:
+		elem := v.Type().Elem()
+		switch elem.Kind() {
+		case reflect.Ptr, reflect.Interface, reflect.Slice, reflect.Map, reflect.String, reflect.Struct, reflect.Array:
+			n := int64(0)
+			for i := 0; i < v.Len(); i++ {
+				n += deepSize(v.Index(i))
+			}
+			return n
+		}
+		return int64(v.Type().Size())
+	default:
+		return int64(v.Type().Size())
+	}
+}
